@@ -1,0 +1,137 @@
+//! Bernstein-Vazirani.
+//!
+//! Recovers an `n`-bit secret string `s` from a single query to the oracle
+//! `f(x) = s·x mod 2`. The circuit uses `n` input qubits plus one ancilla
+//! prepared in `|−⟩`; the paper's Fig. 4 instance is the 4-qubit circuit
+//! with secret `101`.
+
+use crate::workload::Workload;
+use qufi_sim::QuantumCircuit;
+
+/// Builds the Bernstein-Vazirani workload for an `n_bits`-bit `secret`
+/// (total width `n_bits + 1` qubits; the ancilla is the last qubit and is
+/// not measured, exactly as in Qiskit's textbook construction).
+///
+/// # Panics
+///
+/// Panics if `n_bits == 0` or `secret >= 2^n_bits`.
+///
+/// # Example
+///
+/// ```
+/// use qufi_algos::bernstein_vazirani;
+///
+/// let w = bernstein_vazirani(0b101, 3);
+/// assert_eq!(w.circuit.num_qubits(), 4);
+/// assert_eq!(w.correct_bitstrings(), vec!["101"]);
+/// ```
+pub fn bernstein_vazirani(secret: usize, n_bits: usize) -> Workload {
+    assert!(n_bits > 0, "secret must have at least one bit");
+    assert!(secret < (1 << n_bits), "secret does not fit in {n_bits} bits");
+    let n = n_bits + 1;
+    let ancilla = n_bits;
+    let mut qc = QuantumCircuit::with_name(n, n_bits, &format!("bv-{n}"));
+
+    // Ancilla in |−⟩ for phase kickback.
+    qc.x(ancilla).h(ancilla);
+    // Uniform superposition over the query register.
+    for q in 0..n_bits {
+        qc.h(q);
+    }
+    qc.barrier(&[]);
+    // Oracle: CX from each secret-bit qubit into the ancilla.
+    for q in 0..n_bits {
+        if (secret >> q) & 1 == 1 {
+            qc.cx(q, ancilla);
+        }
+    }
+    qc.barrier(&[]);
+    // Interfere and read out.
+    for q in 0..n_bits {
+        qc.h(q);
+        qc.measure(q, q);
+    }
+    Workload::new(qc, vec![secret], &format!("bv-{n}"))
+}
+
+/// The alternating secret `1010…` (MSB first) on `len` bits — the pattern
+/// used when scaling the benchmarks, e.g. `101` for 3 bits, `1010` for 4.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn alternating_secret(len: usize) -> usize {
+    assert!(len > 0, "empty secret");
+    let mut s = 0usize;
+    for bit in 0..len {
+        // MSB-first alternation starting with 1.
+        let msb_pos = len - 1 - bit;
+        if bit % 2 == 0 {
+            s |= 1 << msb_pos;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_sim::Statevector;
+
+    #[test]
+    fn recovers_every_3bit_secret() {
+        for secret in 0..8 {
+            let w = bernstein_vazirani(secret, 3);
+            let sv = Statevector::from_circuit(&w.circuit).unwrap();
+            let dist = sv.measurement_distribution(&w.circuit);
+            assert!(
+                (dist.prob(secret) - 1.0).abs() < 1e-9,
+                "secret {secret} not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_instance_matches_fig4() {
+        let w = bernstein_vazirani(0b101, 3);
+        assert_eq!(w.circuit.num_qubits(), 4);
+        assert_eq!(w.circuit.num_clbits(), 3);
+        // Two CX gates (secret has two ones).
+        let counts = w.circuit.gate_counts();
+        let cx = counts.iter().find(|(n, _)| *n == "cx").unwrap().1;
+        assert_eq!(cx, 2);
+        // 7 Hadamards: 3 + ancilla + 3.
+        let h = counts.iter().find(|(n, _)| *n == "h").unwrap().1;
+        assert_eq!(h, 7);
+    }
+
+    #[test]
+    fn ancilla_is_not_measured() {
+        let w = bernstein_vazirani(0b11, 2);
+        let measured: Vec<usize> = w.circuit.measurement_map().iter().map(|&(q, _)| q).collect();
+        assert!(!measured.contains(&2));
+    }
+
+    #[test]
+    fn zero_secret_has_no_oracle_gates() {
+        let w = bernstein_vazirani(0, 3);
+        let counts = w.circuit.gate_counts();
+        assert!(counts.iter().all(|(n, _)| *n != "cx"));
+        let sv = Statevector::from_circuit(&w.circuit).unwrap();
+        assert!((sv.measurement_distribution(&w.circuit).prob(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternating_secret_patterns() {
+        assert_eq!(alternating_secret(3), 0b101);
+        assert_eq!(alternating_secret(4), 0b1010);
+        assert_eq!(alternating_secret(5), 0b10101);
+        assert_eq!(alternating_secret(1), 0b1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_secret_rejected() {
+        let _ = bernstein_vazirani(8, 3);
+    }
+}

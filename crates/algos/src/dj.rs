@@ -1,0 +1,123 @@
+//! Deutsch-Jozsa.
+//!
+//! Decides whether an oracle is constant or balanced with one query — "the
+//! first algorithm that showed that Quantum Computers could be faster than
+//! classical computers" (§V-A). A constant oracle yields the all-zeros
+//! output; the canonical balanced oracle (parity) yields all-ones.
+
+use crate::workload::Workload;
+use qufi_sim::QuantumCircuit;
+
+/// Oracle flavour for Deutsch-Jozsa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DjOracle {
+    /// `f(x) = 0` for all inputs: output is `00…0`.
+    ConstantZero,
+    /// `f(x) = 1` for all inputs: output is `00…0` (global phase only).
+    ConstantOne,
+    /// The parity oracle `f(x) = x₀⊕…⊕x_{n−1}`: output is `11…1`.
+    Balanced,
+}
+
+/// Builds the Deutsch-Jozsa workload over `n_query` query qubits plus one
+/// ancilla.
+///
+/// # Panics
+///
+/// Panics if `n_query == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qufi_algos::{deutsch_jozsa, DjOracle};
+///
+/// let w = deutsch_jozsa(3, DjOracle::Balanced);
+/// assert_eq!(w.circuit.num_qubits(), 4);
+/// assert_eq!(w.correct_bitstrings(), vec!["111"]);
+/// ```
+pub fn deutsch_jozsa(n_query: usize, oracle: DjOracle) -> Workload {
+    assert!(n_query > 0, "need at least one query qubit");
+    let n = n_query + 1;
+    let ancilla = n_query;
+    let mut qc = QuantumCircuit::with_name(n, n_query, &format!("dj-{n}"));
+
+    qc.x(ancilla).h(ancilla);
+    for q in 0..n_query {
+        qc.h(q);
+    }
+    qc.barrier(&[]);
+    match oracle {
+        DjOracle::ConstantZero => {
+            // f ≡ 0: identity oracle. Keep an explicit id so the circuit has
+            // a fault-injection site inside the oracle region.
+            qc.i(ancilla);
+        }
+        DjOracle::ConstantOne => {
+            qc.x(ancilla);
+        }
+        DjOracle::Balanced => {
+            for q in 0..n_query {
+                qc.cx(q, ancilla);
+            }
+        }
+    }
+    qc.barrier(&[]);
+    for q in 0..n_query {
+        qc.h(q);
+        qc.measure(q, q);
+    }
+    let golden = match oracle {
+        DjOracle::ConstantZero | DjOracle::ConstantOne => 0,
+        DjOracle::Balanced => (1 << n_query) - 1,
+    };
+    Workload::new(qc, vec![golden], &format!("dj-{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_sim::Statevector;
+
+    fn output_dist(w: &Workload) -> qufi_sim::ProbDist {
+        Statevector::from_circuit(&w.circuit)
+            .unwrap()
+            .measurement_distribution(&w.circuit)
+    }
+
+    #[test]
+    fn constant_oracles_give_all_zeros() {
+        for oracle in [DjOracle::ConstantZero, DjOracle::ConstantOne] {
+            for n in 1..=5 {
+                let w = deutsch_jozsa(n, oracle);
+                assert!((output_dist(&w).prob(0) - 1.0).abs() < 1e-9, "{oracle:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_oracle_gives_all_ones() {
+        for n in 1..=5 {
+            let w = deutsch_jozsa(n, DjOracle::Balanced);
+            let all_ones = (1 << n) - 1;
+            assert!((output_dist(&w).prob(all_ones) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_and_balanced_are_perfectly_distinguishable() {
+        // The defining property of DJ: the all-zeros outcome separates the
+        // two oracle classes with certainty.
+        let c = deutsch_jozsa(3, DjOracle::ConstantZero);
+        let b = deutsch_jozsa(3, DjOracle::Balanced);
+        assert!(output_dist(&c).prob(0) > 0.999);
+        assert!(output_dist(&b).prob(0) < 1e-9);
+    }
+
+    #[test]
+    fn shape_matches_paper_4_qubit_instance() {
+        let w = deutsch_jozsa(3, DjOracle::Balanced);
+        assert_eq!(w.circuit.num_qubits(), 4);
+        assert_eq!(w.circuit.num_clbits(), 3);
+        assert_eq!(w.name, "dj-4");
+    }
+}

@@ -1,0 +1,61 @@
+//! GHZ state preparation — an extension workload with *two* golden outputs,
+//! exercising the QVF's multiple-correct-state aggregation ("the extension
+//! for multiple-state circuits can be easily performed by aggregating the
+//! probabilities of all correct states into P(A)", §IV-A).
+
+use crate::workload::Workload;
+use qufi_sim::QuantumCircuit;
+
+/// Builds the `n`-qubit GHZ workload `(|0…0⟩ + |1…1⟩)/√2`; both all-zeros
+/// and all-ones are correct outputs.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use qufi_algos::ghz;
+///
+/// let w = ghz(4);
+/// assert_eq!(w.correct_outputs, vec![0, 0b1111]);
+/// ```
+pub fn ghz(n: usize) -> Workload {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut qc = QuantumCircuit::with_name(n, n, &format!("ghz-{n}"));
+    qc.h(0);
+    for q in 0..n - 1 {
+        qc.cx(q, q + 1);
+    }
+    qc.measure_all();
+    Workload::new(qc, vec![0, (1 << n) - 1], &format!("ghz-{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_sim::Statevector;
+
+    #[test]
+    fn ghz_mass_splits_between_golden_states() {
+        for n in 2..=6 {
+            let w = ghz(n);
+            let dist = Statevector::from_circuit(&w.circuit)
+                .unwrap()
+                .measurement_distribution(&w.circuit);
+            assert!((dist.prob(0) - 0.5).abs() < 1e-9);
+            assert!((dist.prob((1 << n) - 1) - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn golden_probability_sums_to_one() {
+        let w = ghz(5);
+        let dist = Statevector::from_circuit(&w.circuit)
+            .unwrap()
+            .measurement_distribution(&w.circuit);
+        let p: f64 = w.correct_outputs.iter().map(|&o| dist.prob(o)).sum();
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+}

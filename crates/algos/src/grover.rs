@@ -1,0 +1,124 @@
+//! Grover search — an extension workload with deeper circuits than the
+//! paper's three benchmarks, useful for depth-sensitivity studies.
+
+use crate::workload::Workload;
+use qufi_sim::QuantumCircuit;
+
+/// Builds a Grover-search workload over `n ∈ {2, 3}` qubits marking the
+/// basis state `marked`, running the optimal number of iterations
+/// (1 for n=2 — exact; 2 for n=3 — success probability ≈ 94.5%).
+///
+/// # Panics
+///
+/// Panics unless `n ∈ {2, 3}` and `marked < 2^n`.
+///
+/// # Example
+///
+/// ```
+/// use qufi_algos::grover;
+/// use qufi_sim::Statevector;
+///
+/// let w = grover(2, 0b11);
+/// let d = Statevector::from_circuit(&w.circuit).unwrap()
+///     .measurement_distribution(&w.circuit);
+/// assert!((d.prob(0b11) - 1.0).abs() < 1e-9);
+/// ```
+pub fn grover(n: usize, marked: usize) -> Workload {
+    assert!(n == 2 || n == 3, "grover implemented for 2 or 3 qubits");
+    assert!(marked < (1 << n), "marked state does not fit");
+    let iterations = if n == 2 { 1 } else { 2 };
+    let mut qc = QuantumCircuit::with_name(n, n, &format!("grover-{n}"));
+
+    for q in 0..n {
+        qc.h(q);
+    }
+    for _ in 0..iterations {
+        append_phase_oracle(&mut qc, n, marked);
+        append_diffuser(&mut qc, n);
+    }
+    qc.measure_all();
+    Workload::new(qc, vec![marked], &format!("grover-{n}"))
+}
+
+/// Phase oracle flipping the sign of `|marked⟩`, built from a controlled-Z
+/// conjugated by X gates on the zero bits.
+fn append_phase_oracle(qc: &mut QuantumCircuit, n: usize, marked: usize) {
+    let zero_bits: Vec<usize> = (0..n).filter(|&b| (marked >> b) & 1 == 0).collect();
+    for &b in &zero_bits {
+        qc.x(b);
+    }
+    append_multi_cz(qc, n);
+    for &b in &zero_bits {
+        qc.x(b);
+    }
+}
+
+/// The Grover diffuser `H^⊗n · (2|0⟩⟨0| − I) · H^⊗n`.
+fn append_diffuser(qc: &mut QuantumCircuit, n: usize) {
+    for q in 0..n {
+        qc.h(q);
+        qc.x(q);
+    }
+    append_multi_cz(qc, n);
+    for q in 0..n {
+        qc.x(q);
+        qc.h(q);
+    }
+}
+
+/// A Z on the all-ones subspace: CZ for n=2, CCZ (via H·CCX·H) for n=3.
+fn append_multi_cz(qc: &mut QuantumCircuit, n: usize) {
+    match n {
+        2 => {
+            qc.cz(0, 1);
+        }
+        3 => {
+            qc.h(2).ccx(0, 1, 2).h(2);
+        }
+        _ => unreachable!("grover width checked at entry"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_sim::Statevector;
+
+    #[test]
+    fn two_qubit_grover_is_exact_for_all_targets() {
+        for marked in 0..4 {
+            let w = grover(2, marked);
+            let d = Statevector::from_circuit(&w.circuit)
+                .unwrap()
+                .measurement_distribution(&w.circuit);
+            assert!(
+                (d.prob(marked) - 1.0).abs() < 1e-9,
+                "marked {marked}: p={}",
+                d.prob(marked)
+            );
+        }
+    }
+
+    #[test]
+    fn three_qubit_grover_amplifies_target() {
+        for marked in [0b000, 0b101, 0b111] {
+            let w = grover(3, marked);
+            let d = Statevector::from_circuit(&w.circuit)
+                .unwrap()
+                .measurement_distribution(&w.circuit);
+            // Two iterations on 8 items: sin²(5·asin(1/√8)) ≈ 0.945.
+            assert!(
+                (d.prob(marked) - 0.9453125).abs() < 1e-6,
+                "marked {marked}: p={}",
+                d.prob(marked)
+            );
+        }
+    }
+
+    #[test]
+    fn grover_is_deeper_than_bv() {
+        let g = grover(3, 0b101);
+        let b = crate::bv::bernstein_vazirani(0b101, 3);
+        assert!(g.circuit.depth() > b.circuit.depth());
+    }
+}

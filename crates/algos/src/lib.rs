@@ -1,0 +1,40 @@
+//! Benchmark circuits for fault-injection studies.
+//!
+//! The paper evaluates three "of the most used and widely known quantum
+//! circuits" (§V-A): **Bernstein-Vazirani**, **Deutsch-Jozsa** and the
+//! **Quantum Fourier Transform**, each scaled from 4 to 7 qubits for the
+//! circuit-scaling study (§V-C). This crate builds them (plus GHZ and Grover
+//! as extensions) as [`Workload`]s that pair a circuit with its expected
+//! (golden) outputs.
+//!
+//! # Example
+//!
+//! ```
+//! use qufi_algos::{bernstein_vazirani, Workload};
+//! use qufi_sim::Statevector;
+//!
+//! // The paper's Fig. 4 circuit: 4 qubits, secret 101.
+//! let w = bernstein_vazirani(0b101, 3);
+//! assert_eq!(w.circuit.num_qubits(), 4);
+//! let sv = Statevector::from_circuit(&w.circuit).unwrap();
+//! let dist = sv.measurement_distribution(&w.circuit);
+//! assert!((dist.prob_of("101") - 1.0).abs() < 1e-9);
+//! ```
+
+pub mod bv;
+pub mod dj;
+pub mod ghz;
+pub mod grover;
+pub mod qec;
+pub mod qft;
+pub mod qpe;
+pub mod workload;
+
+pub use bv::{alternating_secret, bernstein_vazirani};
+pub use dj::{deutsch_jozsa, DjOracle};
+pub use ghz::ghz;
+pub use grover::grover;
+pub use qec::{bit_flip_code, phase_flip_code, CodeWorkload};
+pub use qft::{qft_circuit, qft_value_encoding};
+pub use qpe::quantum_phase_estimation;
+pub use workload::{paper_workloads, scaling_family, Workload};

@@ -1,0 +1,161 @@
+//! Quantum Fourier Transform.
+//!
+//! "The quantum analogue of the discrete Fourier transform … a fundamental
+//! part of many quantum algorithms, such as Shor's factoring algorithm"
+//! (§V-A). To obtain a deterministic golden output (needed by the QVF), the
+//! benchmark encodes a known `value` in the Fourier basis with Hadamards and
+//! phase rotations, then applies the **inverse** QFT, which must return the
+//! computational-basis state `|value⟩`.
+
+use crate::workload::Workload;
+use qufi_sim::QuantumCircuit;
+use std::f64::consts::PI;
+
+/// Appends the standard QFT (with final bit-reversal swaps) on qubits
+/// `0..n` of `qc`.
+pub fn qft_circuit(n: usize) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::with_name(n, 0, &format!("qft-{n}"));
+    for target in (0..n).rev() {
+        qc.h(target);
+        for control in (0..target).rev() {
+            let angle = PI / (1 << (target - control)) as f64;
+            qc.cp(angle, control, target);
+        }
+    }
+    for q in 0..n / 2 {
+        qc.swap(q, n - 1 - q);
+    }
+    qc
+}
+
+/// Builds the QFT benchmark: prepare the Fourier encoding of `value`, apply
+/// the inverse QFT, measure — a fault-free run yields `value` exactly.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `value >= 2^n`.
+///
+/// # Example
+///
+/// ```
+/// use qufi_algos::qft_value_encoding;
+/// use qufi_sim::Statevector;
+///
+/// let w = qft_value_encoding(4, 0b1010);
+/// let sv = Statevector::from_circuit(&w.circuit).unwrap();
+/// assert!((sv.measurement_distribution(&w.circuit).prob(0b1010) - 1.0).abs() < 1e-9);
+/// ```
+pub fn qft_value_encoding(n: usize, value: usize) -> Workload {
+    assert!(n > 0, "QFT needs at least one qubit");
+    assert!(value < (1 << n), "value does not fit in {n} qubits");
+    let mut qc = QuantumCircuit::with_name(n, n, &format!("qft-{n}"));
+
+    // Fourier-basis preparation: QFT|value⟩ = ⊗_j (|0⟩ + e^{2πi·value·2^j/2^n}|1⟩)/√2.
+    for q in 0..n {
+        qc.h(q);
+        let angle = 2.0 * PI * (value as f64) * (1u64 << q) as f64 / (1u64 << n) as f64;
+        // Reduce modulo 2π to keep parameters tidy.
+        let angle = angle % (2.0 * PI);
+        if angle.abs() > 1e-12 {
+            qc.p(angle, q);
+        }
+    }
+    qc.barrier(&[]);
+    // Inverse QFT brings the encoding back to |value⟩.
+    let inv = qft_circuit(n).inverse();
+    qc.compose(&inv);
+    qc.barrier(&[]);
+    qc.measure_all();
+    Workload::new(qc, vec![value], &format!("qft-{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_math::Complex;
+    use qufi_sim::Statevector;
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let qc = qft_circuit(3);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let p = sv.probabilities();
+        for i in 0..8 {
+            assert!((p.prob(i) - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix_on_basis_states() {
+        // QFT|x⟩ amplitudes must be e^{2πi·x·y/N}/√N.
+        let n = 3;
+        let dim = 1usize << n;
+        for x in 0..dim {
+            let mut qc = QuantumCircuit::new(n, 0);
+            for b in 0..n {
+                if (x >> b) & 1 == 1 {
+                    qc.x(b);
+                }
+            }
+            qc.compose(&qft_circuit(n));
+            let sv = Statevector::from_circuit(&qc).unwrap();
+            for y in 0..dim {
+                let expect = Complex::cis(2.0 * PI * (x * y) as f64 / dim as f64)
+                    .scale(1.0 / (dim as f64).sqrt());
+                assert!(
+                    sv.amp(y).approx_eq(expect, 1e-9),
+                    "x={x} y={y}: {} vs {expect}",
+                    sv.amp(y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_followed_by_inverse_is_identity() {
+        let mut qc = QuantumCircuit::new(4, 0);
+        qc.x(1).x(3);
+        qc.compose(&qft_circuit(4));
+        qc.compose(&qft_circuit(4).inverse());
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.probabilities().prob(0b1010) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_encoding_roundtrip_all_values_3q() {
+        for value in 0..8 {
+            let w = qft_value_encoding(3, value);
+            let sv = Statevector::from_circuit(&w.circuit).unwrap();
+            let dist = sv.measurement_distribution(&w.circuit);
+            assert!(
+                (dist.prob(value) - 1.0).abs() < 1e-9,
+                "value {value}: p = {}",
+                dist.prob(value)
+            );
+        }
+    }
+
+    #[test]
+    fn value_encoding_scales_to_7_qubits() {
+        let w = qft_value_encoding(7, 0b1010101);
+        let sv = Statevector::from_circuit(&w.circuit).unwrap();
+        assert!((sv.measurement_distribution(&w.circuit).prob(0b1010101) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_count_is_quadratic() {
+        // n(n+1)/2 H+CP gates plus ⌊n/2⌋ swaps in the inverse QFT.
+        let qc = qft_circuit(5);
+        let counts = qc.gate_counts();
+        let cp = counts.iter().find(|(g, _)| *g == "cp").unwrap().1;
+        assert_eq!(cp, 10); // 5 choose 2
+        let h = counts.iter().find(|(g, _)| *g == "h").unwrap().1;
+        assert_eq!(h, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        let _ = qft_value_encoding(3, 8);
+    }
+}

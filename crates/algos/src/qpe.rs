@@ -1,0 +1,114 @@
+//! Quantum Phase Estimation.
+//!
+//! The paper singles out QPE as one of the algorithms built on the QFT
+//! (§V-A: "a fundamental part of many quantum algorithms, such as Shor's
+//! factoring algorithm, Quantum Phase Estimation"). This benchmark
+//! estimates the phase of `P(2πφ)` on its `|1⟩` eigenstate with an
+//! `n`-bit counting register; when `φ = k/2ⁿ` the estimate is exact, giving
+//! the deterministic golden output the QVF needs.
+
+use crate::qft::qft_circuit;
+use crate::workload::Workload;
+use qufi_sim::QuantumCircuit;
+use std::f64::consts::PI;
+
+/// Builds the QPE workload estimating `φ = k / 2^n_counting`.
+///
+/// Total width is `n_counting + 1` (the eigenstate qubit is last and is not
+/// measured); the golden output is `k`.
+///
+/// # Panics
+///
+/// Panics if `n_counting == 0` or `k >= 2^n_counting`.
+///
+/// # Example
+///
+/// ```
+/// use qufi_algos::qpe::quantum_phase_estimation;
+/// use qufi_sim::Statevector;
+///
+/// // Estimate φ = 3/8 with 3 counting qubits: output must be |011⟩.
+/// let w = quantum_phase_estimation(3, 3);
+/// let d = Statevector::from_circuit(&w.circuit).unwrap()
+///     .measurement_distribution(&w.circuit);
+/// assert!((d.prob(3) - 1.0).abs() < 1e-9);
+/// ```
+pub fn quantum_phase_estimation(n_counting: usize, k: usize) -> Workload {
+    assert!(n_counting > 0, "need at least one counting qubit");
+    assert!(k < (1 << n_counting), "phase numerator does not fit");
+    let n = n_counting + 1;
+    let eigen = n_counting;
+    let phi = k as f64 / (1u64 << n_counting) as f64;
+    let mut qc = QuantumCircuit::with_name(n, n_counting, &format!("qpe-{n}"));
+
+    // Eigenstate |1⟩ of P(2πφ).
+    qc.x(eigen);
+    // Counting register in superposition.
+    for q in 0..n_counting {
+        qc.h(q);
+    }
+    qc.barrier(&[]);
+    // Controlled-U^{2^j}: controlled phase 2πφ·2^j from counting qubit j.
+    for j in 0..n_counting {
+        let angle = 2.0 * PI * phi * (1u64 << j) as f64;
+        let angle = angle % (2.0 * PI);
+        if angle.abs() > 1e-12 {
+            qc.cp(angle, j, eigen);
+        }
+    }
+    qc.barrier(&[]);
+    // Inverse QFT on the counting register, then read it out.
+    let mut iqft = qft_circuit(n_counting).inverse();
+    iqft.name = String::new();
+    qc.compose(&iqft);
+    for q in 0..n_counting {
+        qc.measure(q, q);
+    }
+    Workload::new(qc, vec![k], &format!("qpe-{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_sim::Statevector;
+
+    #[test]
+    fn exact_phases_are_recovered() {
+        for n in 2..=4 {
+            for k in 0..(1usize << n) {
+                let w = quantum_phase_estimation(n, k);
+                let d = Statevector::from_circuit(&w.circuit)
+                    .unwrap()
+                    .measurement_distribution(&w.circuit);
+                assert!(
+                    (d.prob(k) - 1.0).abs() < 1e-9,
+                    "n={n}, k={k}: p={}",
+                    d.prob(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenstate_qubit_is_not_measured() {
+        let w = quantum_phase_estimation(3, 5);
+        let measured: Vec<usize> = w.circuit.measurement_map().iter().map(|&(q, _)| q).collect();
+        assert!(!measured.contains(&3));
+        assert_eq!(w.circuit.num_clbits(), 3);
+    }
+
+    #[test]
+    fn qpe_uses_the_qft_substrate() {
+        let w = quantum_phase_estimation(4, 7);
+        let counts = w.circuit.gate_counts();
+        // 4-qubit inverse QFT contributes 6 cp gates; controlled-U adds more.
+        let cp = counts.iter().find(|(g, _)| *g == "cp").map(|(_, c)| *c).unwrap_or(0);
+        assert!(cp >= 6, "expected QFT cp gates, found {cp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_k_rejected() {
+        let _ = quantum_phase_estimation(2, 4);
+    }
+}

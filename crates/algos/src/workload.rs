@@ -1,0 +1,139 @@
+//! Workload: a circuit paired with its golden outputs.
+
+use qufi_sim::QuantumCircuit;
+
+/// A benchmark circuit together with the classical outcomes a fault-free
+/// execution should produce (the `P(A)` states of the QVF).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The circuit (measurements included).
+    pub circuit: QuantumCircuit,
+    /// Correct outcome indices over the classical register. Most workloads
+    /// have exactly one; GHZ has two.
+    pub correct_outputs: Vec<usize>,
+    /// Human-readable name, e.g. `"bv-4"`.
+    pub name: String,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `correct_outputs` is empty or an index exceeds the
+    /// classical register.
+    pub fn new(circuit: QuantumCircuit, correct_outputs: Vec<usize>, name: &str) -> Self {
+        assert!(!correct_outputs.is_empty(), "need at least one golden state");
+        let max = 1usize << circuit.num_clbits();
+        for &o in &correct_outputs {
+            assert!(o < max, "golden state {o} out of range");
+        }
+        Workload {
+            circuit,
+            correct_outputs,
+            name: name.to_owned(),
+        }
+    }
+
+    /// The golden outputs rendered as MSB-first bitstrings.
+    pub fn correct_bitstrings(&self) -> Vec<String> {
+        self.correct_outputs
+            .iter()
+            .map(|&o| qufi_sim::counts::render_bits(o, self.circuit.num_clbits()))
+            .collect()
+    }
+}
+
+/// The paper's three benchmarks at a given total qubit count
+/// (`4 ≤ n ≤ 12`): BV and DJ use an `n−1`-bit secret/oracle plus an
+/// ancilla; QFT encodes an alternating-bit value on `n` qubits.
+///
+/// # Panics
+///
+/// Panics for `n < 2`.
+pub fn paper_workloads(n: usize) -> Vec<Workload> {
+    assert!(n >= 2, "workloads need at least 2 qubits");
+    let secret = crate::bv::alternating_secret(n - 1);
+    vec![
+        crate::bv::bernstein_vazirani(secret, n - 1),
+        crate::dj::deutsch_jozsa(n - 1, crate::dj::DjOracle::Balanced),
+        crate::qft::qft_value_encoding(n, crate::bv::alternating_secret(n)),
+    ]
+}
+
+/// The scaling family of one benchmark: instances at 4..=`max_qubits`
+/// total qubits, as in the paper's Fig. 7 (4 to 7 qubits).
+pub fn scaling_family(name: &str, max_qubits: usize) -> Vec<Workload> {
+    (4..=max_qubits)
+        .map(|n| match name {
+            "bv" => crate::bv::bernstein_vazirani(crate::bv::alternating_secret(n - 1), n - 1),
+            "dj" => crate::dj::deutsch_jozsa(n - 1, crate::dj::DjOracle::Balanced),
+            "qft" => crate::qft::qft_value_encoding(n, crate::bv::alternating_secret(n)),
+            "ghz" => crate::ghz::ghz(n),
+            other => panic!("unknown workload family {other:?}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_sim::Statevector;
+
+    #[test]
+    fn paper_workloads_have_expected_shapes() {
+        let ws = paper_workloads(4);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].name, "bv-4");
+        assert_eq!(ws[1].name, "dj-4");
+        assert_eq!(ws[2].name, "qft-4");
+        for w in &ws {
+            assert_eq!(w.circuit.num_qubits(), 4);
+        }
+    }
+
+    #[test]
+    fn all_workloads_produce_their_golden_output_noiselessly() {
+        for n in 4..=7 {
+            for w in paper_workloads(n) {
+                let sv = Statevector::from_circuit(&w.circuit).unwrap();
+                let dist = sv.measurement_distribution(&w.circuit);
+                let p: f64 = w.correct_outputs.iter().map(|&o| dist.prob(o)).sum();
+                assert!(
+                    p > 0.999,
+                    "{}: golden probability only {p:.4}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_families_grow() {
+        let fam = scaling_family("qft", 7);
+        assert_eq!(fam.len(), 4);
+        for (i, w) in fam.iter().enumerate() {
+            assert_eq!(w.circuit.num_qubits(), 4 + i);
+        }
+        assert_eq!(scaling_family("bv", 6).len(), 3);
+    }
+
+    #[test]
+    fn correct_bitstrings_render() {
+        let w = crate::bv::bernstein_vazirani(0b101, 3);
+        assert_eq!(w.correct_bitstrings(), vec!["101".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "golden state")]
+    fn out_of_range_golden_rejected() {
+        let qc = QuantumCircuit::new(1, 1);
+        let _ = Workload::new(qc, vec![5], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload family")]
+    fn unknown_family_panics() {
+        let _ = scaling_family("nope", 5);
+    }
+}

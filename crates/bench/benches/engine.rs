@@ -1,0 +1,111 @@
+//! Microbenchmarks of the simulation and transpilation engines — the
+//! substrate costs underneath every campaign number in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qufi_algos::bernstein_vazirani;
+use qufi_core::executor::{Executor, NoisyExecutor};
+use qufi_noise::{simulate, BackendCalibration, KrausChannel};
+use qufi_sim::{DensityMatrix, Gate, Statevector};
+use qufi_transpile::{CouplingMap, OptimizationLevel, Transpiler};
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for n in [4usize, 7, 10] {
+        group.bench_function(format!("h_layer_{n}q"), |b| {
+            b.iter_batched(
+                || Statevector::new(n).expect("fits"),
+                |mut sv| {
+                    for q in 0..n {
+                        sv.apply_gate(Gate::H, &[q]);
+                    }
+                    sv
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("cx_chain_{n}q"), |b| {
+            b.iter_batched(
+                || Statevector::new(n).expect("fits"),
+                |mut sv| {
+                    for q in 0..n - 1 {
+                        sv.apply_gate(Gate::Cx, &[q, q + 1]);
+                    }
+                    sv
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    let channel = KrausChannel::thermal_relaxation(120e-6, 80e-6, 400e-9);
+    for n in [4usize, 7] {
+        group.bench_function(format!("unitary_gate_{n}q"), |b| {
+            b.iter_batched(
+                || DensityMatrix::new(n).expect("fits"),
+                |mut rho| {
+                    rho.apply_gate(Gate::H, &[0]);
+                    rho
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("kraus_channel_{n}q"), |b| {
+            b.iter_batched(
+                || DensityMatrix::new(n).expect("fits"),
+                |mut rho| {
+                    rho.apply_kraus(channel.kraus_operators(), &[0]);
+                    rho
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("superop_channel_{n}q"), |b| {
+            b.iter_batched(
+                || DensityMatrix::new(n).expect("fits"),
+                |mut rho| {
+                    rho.apply_superoperator(channel.superoperator(), &[0]);
+                    rho
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    let w = bernstein_vazirani(0b101, 3);
+    let cal = BackendCalibration::jakarta();
+
+    group.bench_function("transpile_bv4_level3", |b| {
+        let t = Transpiler::new(CouplingMap::ibm_h7(), OptimizationLevel::Level3);
+        b.iter(|| t.run(&w.circuit).expect("transpiles"))
+    });
+    group.bench_function("transpile_bv4_level0", |b| {
+        let t = Transpiler::new(CouplingMap::ibm_h7(), OptimizationLevel::Level0);
+        b.iter(|| t.run(&w.circuit).expect("transpiles"))
+    });
+    group.bench_function("noisy_run_bv4_raw", |b| {
+        let model = cal.noise_model();
+        let t = Transpiler::new(CouplingMap::ibm_h7(), OptimizationLevel::Level3);
+        let routed = t.run(&w.circuit).expect("transpiles");
+        b.iter(|| simulate::run_noisy(routed.circuit(), &model).expect("runs"))
+    });
+    group.bench_function("noisy_executor_bv4_end_to_end", |b| {
+        let ex = NoisyExecutor::new(cal.clone());
+        b.iter(|| ex.execute(&w.circuit).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_statevector, bench_density, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! One benchmark per paper figure, on reduced (45°) grids so `cargo bench`
+//! stays interactive. The `fig*` binaries regenerate the full-grid numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qufi_bench::experiments::{
+    default_executor, fig10_distributions, fig11_hardware, fig4_worked_example, fig5_heatmaps,
+    fig6_per_qubit, fig7_scaling, fig8_double, fig9_delta,
+};
+use qufi_core::fault::FaultGrid;
+use std::f64::consts::PI;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    // Benches time the campaign pipeline, not the figure: a 2×2 shift grid
+    // exercises the same code per injection point at interactive speed.
+    // The fig* binaries run the real grids.
+    let grid = FaultGrid::custom(vec![0.0, PI], vec![0.0, PI]);
+
+    group.bench_function("fig4_worked_example", |b| b.iter(fig4_worked_example));
+    group.bench_function("fig5_heatmaps_tiny", |b| {
+        let ex = default_executor();
+        b.iter(|| fig5_heatmaps(&grid, &ex))
+    });
+    group.bench_function("fig6_per_qubit_tiny", |b| {
+        let ex = default_executor();
+        b.iter(|| fig6_per_qubit(&grid, &ex))
+    });
+    group.bench_function("fig7_scaling_to4_tiny", |b| {
+        let ex = default_executor();
+        b.iter(|| fig7_scaling(&grid, &ex, 4))
+    });
+    group.bench_function("fig8_to_10_double_tiny", |b| {
+        let ex = default_executor();
+        b.iter(|| {
+            let f8 = fig8_double(&grid, &ex);
+            let delta = fig9_delta(&f8);
+            let f10 = fig10_distributions(&f8);
+            (delta.mean(), f10.double_stats)
+        })
+    });
+    group.bench_function("fig11_hardware_vs_sim", |b| b.iter(|| fig11_hardware(7)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_figures
+}
+criterion_main!(benches);

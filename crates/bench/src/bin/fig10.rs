@@ -1,0 +1,34 @@
+//! Fig. 10 — QVF distributions: single vs double fault injection on
+//! Bernstein-Vazirani, with the mean/σ the paper reports (single
+//! 0.4647/0.1818 vs double 0.5338 — double faults shift mass upward).
+
+use qufi_bench::experiments::{default_executor, fig10_distributions, fig8_double};
+use qufi_core::fault::FaultGrid;
+
+fn main() {
+    let grid = if qufi_bench::coarse_requested() {
+        FaultGrid::coarse()
+    } else {
+        FaultGrid::paper_half_phi()
+    };
+    qufi_bench::banner("Fig. 10 — QVF distribution, single vs double faults (BV)");
+    let executor = default_executor();
+    let f8 = fig8_double(&grid, &executor);
+    let out = fig10_distributions(&f8);
+
+    println!(
+        "single: mean {:.4}, σ {:.4}  (paper: 0.4647 / 0.1818)",
+        out.single_stats.0, out.single_stats.1
+    );
+    println!(
+        "double: mean {:.4}, σ {:.4}  (paper: 0.5338)",
+        out.double_stats.0, out.double_stats.1
+    );
+    println!("\nsingle-fault histogram:");
+    print!("{}", out.single_hist.ascii());
+    println!("\ndouble-fault histogram:");
+    print!("{}", out.double_hist.ascii());
+
+    qufi_bench::write_artifact("fig10_single_hist.csv", &out.single_hist.to_csv());
+    qufi_bench::write_artifact("fig10_double_hist.csv", &out.double_hist.to_csv());
+}

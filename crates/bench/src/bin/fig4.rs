@@ -1,0 +1,6 @@
+//! Fig. 4 — worked example: θ=π/4 fault in Bernstein-Vazirani on q0.
+
+fn main() {
+    qufi_bench::banner("Fig. 4 — worked fault-injection example (BV, secret 101)");
+    print!("{}", qufi_bench::experiments::fig4_worked_example());
+}

@@ -1,0 +1,38 @@
+//! Fig. 5 — QVF heatmaps for the 4-qubit BV / DJ / QFT circuits under the
+//! full single-fault sweep (φ ∈ [0,2π) and θ ∈ [0,π], 15° steps), injected
+//! over the Jakarta noise model. Also prints the §V-B severity
+//! classification table and the fraction of noise-compensating injections.
+
+use qufi_bench::experiments::{default_executor, fig5_heatmaps};
+use qufi_core::fault::FaultGrid;
+
+fn main() {
+    let grid = if qufi_bench::coarse_requested() {
+        FaultGrid::coarse()
+    } else {
+        FaultGrid::paper()
+    };
+    qufi_bench::banner("Fig. 5 — QVF heatmaps, 4-qubit circuits, single faults");
+    let executor = default_executor();
+    let results = fig5_heatmaps(&grid, &executor);
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10}",
+        "circuit", "injections", "meanQVF", "baseline", "masked", "dubious", "sdc", "improved%"
+    );
+    for (w, res, hm) in &results {
+        let (m, d, s) = res.severity_counts();
+        println!(
+            "{:<8} {:>10} {:>9.4} {:>9.4} {:>8} {:>8} {:>8} {:>9.2}%",
+            w.name,
+            res.len(),
+            res.mean_qvf(),
+            res.baseline_qvf,
+            m,
+            d,
+            s,
+            100.0 * res.improved_fraction()
+        );
+        println!("{}", hm.ascii());
+        qufi_bench::write_artifact(&format!("fig5_{}.csv", w.name), &hm.to_csv());
+    }
+}

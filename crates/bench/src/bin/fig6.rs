@@ -1,0 +1,30 @@
+//! Fig. 6 — per-qubit QVF heatmaps of the 4-qubit QFT, including the
+//! highlighted (φ=π, θ=π/4) cell the paper reads off per qubit.
+
+use qufi_bench::experiments::{default_executor, fig6_per_qubit};
+use qufi_core::fault::FaultGrid;
+use std::f64::consts::PI;
+
+fn main() {
+    let grid = if qufi_bench::coarse_requested() {
+        FaultGrid::coarse()
+    } else {
+        FaultGrid::paper()
+    };
+    qufi_bench::banner("Fig. 6 — per-qubit QVF heatmaps, QFT-4");
+    let executor = default_executor();
+    let (res, maps) = fig6_per_qubit(&grid, &executor);
+    println!("campaign: {} injections, mean QVF {:.4}", res.len(), res.mean_qvf());
+
+    // The paper highlights the (φ=π, θ=π/4) square per qubit.
+    let ti = grid.thetas.iter().position(|&t| (t - PI / 4.0).abs() < 1e-9);
+    let pi_idx = grid.phis.iter().position(|&p| (p - PI).abs() < 1e-9);
+    for (q, hm) in &maps {
+        println!("\nqubit #{q}: mean {:.4}", hm.mean());
+        if let (Some(ti), Some(pi_idx)) = (ti, pi_idx) {
+            println!("  QVF at (φ=π, θ=π/4): {:.4}", hm.value(pi_idx, ti));
+        }
+        println!("{}", hm.ascii());
+        qufi_bench::write_artifact(&format!("fig6_qft4_qubit{q}.csv"), &hm.to_csv());
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 8 — Bernstein-Vazirani single vs double fault injection: (a) the
+//! single-fault heatmap on the half-φ grid, (b) the double-fault heatmap
+//! averaging all second-fault configurations, (c) the detailed second-fault
+//! sweep with the first fault fixed at (π, π).
+
+//! Since Figs. 9 and 10 derive from the same two campaigns, this binary
+//! also writes their artifacts (`fig9_delta.csv`, `fig10_*_hist.csv`), so a
+//! single run regenerates the whole single-vs-double analysis.
+
+use qufi_bench::experiments::{default_executor, fig10_distributions, fig8_double, fig9_delta};
+use qufi_core::fault::FaultGrid;
+
+fn main() {
+    let grid = if qufi_bench::coarse_requested() {
+        FaultGrid::coarse()
+    } else {
+        FaultGrid::paper_half_phi()
+    };
+    qufi_bench::banner("Fig. 8 — BV single vs double fault injection");
+    let executor = default_executor();
+    let out = fig8_double(&grid, &executor);
+
+    println!(
+        "(a) single faults: {} injections, mean QVF {:.4}",
+        out.single.len(),
+        out.single.mean_qvf()
+    );
+    println!("{}", out.single_map.ascii());
+    println!(
+        "(b) double faults: {} injections, mean QVF {:.4}",
+        out.double.len(),
+        out.double.mean_qvf()
+    );
+    println!("{}", out.double_map.ascii());
+
+    println!("(c) second-fault sweep with first fault at (θ0=π, φ0=π):");
+    println!("{:>8} {:>8} {:>8}", "θ1", "φ1", "QVF");
+    for r in out.detail.iter().take(30) {
+        println!("{:>8.3} {:>8.3} {:>8.4}", r.theta1, r.phi1, r.qvf);
+    }
+    if out.detail.len() > 30 {
+        println!("  … {} more rows in CSV", out.detail.len() - 30);
+    }
+
+    qufi_bench::write_artifact("fig8a_single.csv", &out.single_map.to_csv());
+    qufi_bench::write_artifact("fig8b_double.csv", &out.double_map.to_csv());
+    let mut detail_csv = String::from("theta1,phi1,qvf\n");
+    for r in &out.detail {
+        detail_csv.push_str(&format!("{:.6},{:.6},{:.6}\n", r.theta1, r.phi1, r.qvf));
+    }
+    qufi_bench::write_artifact("fig8c_detail.csv", &detail_csv);
+
+    // Fig. 9 — ΔQVF derived from the same campaigns.
+    let delta = fig9_delta(&out);
+    println!(
+        "\nFig. 9: mean ΔQVF (double − single) = {:+.4}",
+        out.double.mean_qvf() - out.single.mean_qvf()
+    );
+    qufi_bench::write_artifact("fig9_delta.csv", &delta.to_csv());
+
+    // Fig. 10 — the two QVF distributions with moments.
+    let f10 = fig10_distributions(&out);
+    println!(
+        "Fig. 10: single mean {:.4} σ {:.4} | double mean {:.4} σ {:.4}",
+        f10.single_stats.0, f10.single_stats.1, f10.double_stats.0, f10.double_stats.1
+    );
+    qufi_bench::write_artifact("fig10_single_hist.csv", &f10.single_hist.to_csv());
+    qufi_bench::write_artifact("fig10_double_hist.csv", &f10.double_hist.to_csv());
+}

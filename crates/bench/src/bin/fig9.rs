@@ -1,0 +1,32 @@
+//! Fig. 9 — ΔQVF (double − single) heatmap for Bernstein-Vazirani: the QVF
+//! worsens everywhere, most near (π, π).
+
+use qufi_bench::experiments::{default_executor, fig8_double, fig9_delta};
+use qufi_core::fault::FaultGrid;
+
+fn main() {
+    let grid = if qufi_bench::coarse_requested() {
+        FaultGrid::coarse()
+    } else {
+        FaultGrid::paper_half_phi()
+    };
+    qufi_bench::banner("Fig. 9 — ΔQVF = double − single (BV)");
+    let executor = default_executor();
+    let out = fig8_double(&grid, &executor);
+    let delta = fig9_delta(&out);
+
+    println!(
+        "mean ΔQVF = {:+.4} (positive = double faults are worse)",
+        out.double.mean_qvf() - out.single.mean_qvf()
+    );
+    println!("{:>8} {:>8} {:>9}", "φ", "θ", "ΔQVF");
+    for (pi, &phi) in delta.phis().iter().enumerate() {
+        for (ti, &theta) in delta.thetas().iter().enumerate() {
+            let v = delta.value(pi, ti);
+            if !v.is_nan() {
+                println!("{phi:>8.3} {theta:>8.3} {v:>+9.4}");
+            }
+        }
+    }
+    qufi_bench::write_artifact("fig9_delta.csv", &delta.to_csv());
+}

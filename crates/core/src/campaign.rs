@@ -1,0 +1,387 @@
+//! Single-fault injection campaigns (paper §IV-B, results §V-B).
+//!
+//! A campaign sweeps every injection point of a circuit (after each gate,
+//! on each operand qubit) across the φ/θ fault grid, executes each faulty
+//! circuit, and records the QVF. Points are independent, so the work is
+//! distributed over a thread pool fed by a `crossbeam` channel.
+
+use crate::error::ExecError;
+use crate::executor::{Executor, IdealExecutor};
+use crate::fault::{enumerate_injection_points, inject_fault, FaultGrid, FaultParams, InjectionPoint};
+use crate::metrics::{mean, qvf_from_dist, stddev, Severity};
+use parking_lot::Mutex;
+use qufi_sim::QuantumCircuit;
+
+/// One executed injection and its measured QVF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InjectionRecord {
+    /// Where the fault struck.
+    pub point: InjectionPoint,
+    /// θ shift injected.
+    pub theta: f64,
+    /// φ shift injected.
+    pub phi: f64,
+    /// Resulting Quantum Vulnerability Factor.
+    pub qvf: f64,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// The φ/θ sweep; defaults to the paper's 312-configuration grid.
+    pub grid: FaultGrid,
+    /// Explicit injection points (`None` = every gate/operand pair).
+    pub points: Option<Vec<InjectionPoint>>,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            grid: FaultGrid::paper(),
+            points: None,
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The paper's full grid on all injection points.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A coarse grid for quick runs and benches.
+    pub fn coarse() -> Self {
+        CampaignOptions {
+            grid: FaultGrid::coarse(),
+            ..Self::default()
+        }
+    }
+
+    fn resolve_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// The outcome of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Name of the analyzed circuit.
+    pub circuit_name: String,
+    /// Golden outcome indices used for the QVF.
+    pub golden: Vec<usize>,
+    /// QVF of the fault-free (but still noisy) execution — the `(0, 0)`
+    /// reference spot of the paper's heatmaps.
+    pub baseline_qvf: f64,
+    /// One record per (point, θ, φ), sorted by (point, φ, θ).
+    pub records: Vec<InjectionRecord>,
+    /// The grid that was swept.
+    pub grid: FaultGrid,
+}
+
+impl CampaignResult {
+    /// All QVF values.
+    pub fn qvfs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.qvf).collect()
+    }
+
+    /// Mean QVF over all injections.
+    pub fn mean_qvf(&self) -> f64 {
+        mean(&self.qvfs())
+    }
+
+    /// Population standard deviation of the QVF.
+    pub fn stddev_qvf(&self) -> f64 {
+        stddev(&self.qvfs())
+    }
+
+    /// `(masked, dubious, sdc)` counts (paper §V-B classification).
+    pub fn severity_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in &self.records {
+            match Severity::classify(r.qvf) {
+                Severity::Masked => c.0 += 1,
+                Severity::Dubious => c.1 += 1,
+                Severity::Sdc => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of injections that *improved* the QVF relative to the
+    /// fault-free baseline — the paper reports ~0.9% of injections
+    /// compensating the intrinsic noise (§V-B).
+    pub fn improved_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let improved = self
+            .records
+            .iter()
+            .filter(|r| r.qvf < self.baseline_qvf - 1e-12)
+            .count();
+        improved as f64 / self.records.len() as f64
+    }
+
+    /// Records restricted to faults on one qubit (per-qubit heatmaps,
+    /// paper Fig. 6).
+    pub fn records_for_qubit(&self, qubit: usize) -> Vec<InjectionRecord> {
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| r.point.qubit == qubit)
+            .collect()
+    }
+
+    /// The distinct qubits that received injections.
+    pub fn injected_qubits(&self) -> Vec<usize> {
+        let mut qs: Vec<usize> = self.records.iter().map(|r| r.point.qubit).collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs
+    }
+
+    /// Total number of injections.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no injection was performed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Determines the golden (expected) outputs of a circuit from its ideal,
+/// fault-free execution: all outcomes within `1e-9` of the maximum
+/// probability (multiple-winner circuits like GHZ yield several).
+///
+/// # Errors
+///
+/// [`ExecError::NoGoldenState`] when the ideal output is all-zero (cannot
+/// happen for valid circuits) and simulation errors otherwise.
+pub fn golden_outputs(qc: &QuantumCircuit) -> Result<Vec<usize>, ExecError> {
+    let dist = IdealExecutor.execute(qc)?;
+    let (_, max_p) = dist.most_probable();
+    if max_p <= 0.0 {
+        return Err(ExecError::NoGoldenState);
+    }
+    Ok((0..dist.len())
+        .filter(|&i| dist.prob(i) >= max_p - 1e-9)
+        .collect())
+}
+
+/// Runs a single-fault campaign of `qc` on `executor`.
+///
+/// Every injection builds the faulty circuit, executes it, and scores the
+/// output against `golden` with the QVF. Records come back sorted by
+/// (point, φ, θ) for reproducibility regardless of thread scheduling.
+///
+/// # Errors
+///
+/// The first execution error aborts the campaign.
+pub fn run_single_campaign<E: Executor>(
+    qc: &QuantumCircuit,
+    golden: &[usize],
+    executor: &E,
+    options: &CampaignOptions,
+) -> Result<CampaignResult, ExecError> {
+    let points = options
+        .points
+        .clone()
+        .unwrap_or_else(|| enumerate_injection_points(qc));
+    let baseline_qvf = qvf_from_dist(&executor.execute(qc)?, golden);
+
+    // One task per injection point; each task sweeps the whole grid, which
+    // amortizes scheduling overhead over ~312 executions.
+    let (tx, rx) = crossbeam::channel::unbounded::<InjectionPoint>();
+    for &p in &points {
+        tx.send(p).expect("queue open");
+    }
+    drop(tx);
+
+    let records = Mutex::new(Vec::with_capacity(points.len() * options.grid.len()));
+    let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
+    let n_threads = options.resolve_threads().min(points.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            let rx = rx.clone();
+            let records = &records;
+            let first_error = &first_error;
+            let grid = &options.grid;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                while let Ok(point) = rx.recv() {
+                    if first_error.lock().is_some() {
+                        return;
+                    }
+                    for (theta, phi) in grid.iter() {
+                        let faulty = inject_fault(qc, point, FaultParams::shift(theta, phi));
+                        match executor.execute(&faulty) {
+                            Ok(dist) => local.push(InjectionRecord {
+                                point,
+                                theta,
+                                phi,
+                                qvf: qvf_from_dist(&dist, golden),
+                            }),
+                            Err(e) => {
+                                first_error.lock().get_or_insert(e);
+                                return;
+                            }
+                        }
+                    }
+                }
+                records.lock().extend(local);
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    let mut records = records.into_inner();
+    records.sort_by(|a, b| {
+        (a.point, a.phi, a.theta)
+            .partial_cmp(&(b.point, b.phi, b.theta))
+            .expect("angles are finite")
+    });
+    Ok(CampaignResult {
+        circuit_name: qc.name.clone(),
+        golden: golden.to_vec(),
+        baseline_qvf,
+        records,
+        grid: options.grid.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::NoisyExecutor;
+    use qufi_algos::{bernstein_vazirani, ghz};
+    use qufi_noise::BackendCalibration;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn golden_outputs_single_and_multi() {
+        let bv = bernstein_vazirani(0b101, 3);
+        assert_eq!(golden_outputs(&bv.circuit).unwrap(), vec![0b101]);
+        let g = ghz(3);
+        assert_eq!(golden_outputs(&g.circuit).unwrap(), vec![0, 0b111]);
+    }
+
+    #[test]
+    fn ideal_campaign_null_fault_has_zero_qvf() {
+        let w = bernstein_vazirani(0b11, 2);
+        let opts = CampaignOptions {
+            grid: FaultGrid::custom(vec![0.0], vec![0.0]),
+            points: None,
+            threads: 2,
+        };
+        let res =
+            run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
+        assert!(!res.is_empty());
+        for r in &res.records {
+            assert!(r.qvf < 1e-9, "null fault should be invisible, got {}", r.qvf);
+        }
+        assert_eq!(res.baseline_qvf, 0.0);
+    }
+
+    #[test]
+    fn theta_pi_everywhere_is_harmful_somewhere() {
+        let w = bernstein_vazirani(0b101, 3);
+        let opts = CampaignOptions {
+            grid: FaultGrid::custom(vec![PI], vec![0.0]),
+            points: None,
+            threads: 0,
+        };
+        let res =
+            run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
+        // A bit-flip-equivalent fault on a measured qubit must produce SDCs.
+        let (_, _, sdc) = res.severity_counts();
+        assert!(sdc > 0, "no SDC from θ=π faults: {res:?}");
+    }
+
+    #[test]
+    fn records_are_sorted_and_complete() {
+        let w = bernstein_vazirani(0b1, 1);
+        let opts = CampaignOptions {
+            grid: FaultGrid::coarse(),
+            points: None,
+            threads: 3,
+        };
+        let res =
+            run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
+        let n_points = enumerate_injection_points(&w.circuit).len();
+        assert_eq!(res.len(), n_points * opts.grid.len());
+        for w in res.records.windows(2) {
+            assert!(
+                (w[0].point, w[0].phi, w[0].theta) <= (w[1].point, w[1].phi, w[1].theta),
+                "records unsorted"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let w = bernstein_vazirani(0b10, 2);
+        let mk = |threads| CampaignOptions {
+            grid: FaultGrid::coarse(),
+            points: None,
+            threads,
+        };
+        let a = run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &mk(1))
+            .unwrap();
+        let b = run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &mk(4))
+            .unwrap();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn noisy_campaign_baseline_is_nonzero() {
+        let w = bernstein_vazirani(0b101, 3);
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let opts = CampaignOptions {
+            grid: FaultGrid::custom(vec![0.0, PI], vec![0.0]),
+            points: Some(vec![InjectionPoint { op_index: 2, qubit: 0 }]),
+            threads: 0,
+        };
+        let res = run_single_campaign(&w.circuit, &w.correct_outputs, &ex, &opts).unwrap();
+        // "A fault-free execution … its color is not solid green (QVF > 0)
+        // due to noise" (§V-B).
+        assert!(res.baseline_qvf > 0.0);
+        assert!(res.baseline_qvf < 0.45, "baseline should still be masked");
+        // The θ=0 injection behaves like the baseline; θ=π is much worse.
+        let q0 = res.records.iter().find(|r| r.theta == 0.0).unwrap().qvf;
+        let qpi = res.records.iter().find(|r| r.theta == PI).unwrap().qvf;
+        assert!(qpi > q0 + 0.3, "θ=π ({qpi}) vs θ=0 ({q0})");
+    }
+
+    #[test]
+    fn per_qubit_filter_partitions_records() {
+        let w = bernstein_vazirani(0b11, 2);
+        let opts = CampaignOptions {
+            grid: FaultGrid::coarse(),
+            points: None,
+            threads: 0,
+        };
+        let res =
+            run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
+        let total: usize = res
+            .injected_qubits()
+            .iter()
+            .map(|&q| res.records_for_qubit(q).len())
+            .sum();
+        assert_eq!(total, res.len());
+    }
+}

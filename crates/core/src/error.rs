@@ -1,0 +1,63 @@
+//! Execution errors.
+
+use core::fmt;
+use qufi_sim::SimError;
+use qufi_transpile::TranspileError;
+
+/// Errors surfaced while executing (possibly faulty) circuits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The underlying simulator rejected the circuit.
+    Sim(SimError),
+    /// Transpilation onto the target device failed.
+    Transpile(TranspileError),
+    /// The fault-free execution produced no usable golden state.
+    NoGoldenState,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExecError::Transpile(e) => write!(f, "transpilation failed: {e}"),
+            ExecError::NoGoldenState => write!(f, "no golden state identifiable"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Sim(e) => Some(e),
+            ExecError::Transpile(e) => Some(e),
+            ExecError::NoGoldenState => None,
+        }
+    }
+}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+impl From<TranspileError> for ExecError {
+    fn from(e: TranspileError) -> Self {
+        ExecError::Transpile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_sources() {
+        let e: ExecError = SimError::NoMeasurements.into();
+        assert!(e.to_string().contains("simulation failed"));
+        let e: ExecError = TranspileError::DisconnectedTopology.into();
+        assert!(e.to_string().contains("transpilation failed"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

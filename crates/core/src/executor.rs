@@ -1,0 +1,324 @@
+//! Execution backends — the three scenarios of paper §IV-B.
+//!
+//! 1. [`IdealExecutor`] — "simulation without external noise, which is ideal
+//!    but not realistic"; used to derive golden outputs.
+//! 2. [`NoisyExecutor`] — "simulation of a physical machine, tuning the
+//!    noise over which the fault is injected using the IBM-Q noise model":
+//!    transpile onto the device, then evolve the exact density matrix under
+//!    the calibrated noise model.
+//! 3. [`HardwareExecutor`] — stands in for "physical execution on the
+//!    available IBM-Q machine": the noisy pipeline plus per-job calibration
+//!    drift and finite-shot sampling (1024 shots, as the paper uses). See
+//!    DESIGN.md §4 for the substitution rationale.
+
+use crate::error::ExecError;
+use parking_lot::Mutex;
+use qufi_noise::{simulate, BackendCalibration, NoiseModel};
+use qufi_sim::circuit::Op;
+use qufi_sim::{ProbDist, QuantumCircuit, Statevector};
+use qufi_transpile::{CouplingMap, OptimizationLevel, Transpiler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A backend able to run circuits and return output distributions.
+///
+/// Implementations must be shareable across campaign worker threads.
+pub trait Executor: Sync {
+    /// Runs the circuit and returns the distribution over its classical
+    /// register.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; simulation or transpilation failures.
+    fn execute(&self, qc: &QuantumCircuit) -> Result<ProbDist, ExecError>;
+
+    /// Short backend label for reports.
+    fn name(&self) -> &str;
+}
+
+impl<E: Executor + ?Sized> Executor for &E {
+    fn execute(&self, qc: &QuantumCircuit) -> Result<ProbDist, ExecError> {
+        (**self).execute(qc)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Scenario 1: exact noiseless statevector simulation of the logical
+/// circuit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealExecutor;
+
+impl Executor for IdealExecutor {
+    fn execute(&self, qc: &QuantumCircuit) -> Result<ProbDist, ExecError> {
+        let sv = Statevector::from_circuit(qc)?;
+        Ok(sv.measurement_distribution(qc))
+    }
+
+    fn name(&self) -> &str {
+        "ideal"
+    }
+}
+
+/// Remaps a physical circuit onto the compact register `0..active.len()`
+/// (position of each physical qubit within `active`).
+fn compact_circuit(qc: &QuantumCircuit, active: &[usize]) -> QuantumCircuit {
+    let mut pos = vec![usize::MAX; qc.num_qubits()];
+    for (i, &p) in active.iter().enumerate() {
+        pos[p] = i;
+    }
+    let mut out = QuantumCircuit::with_name(active.len(), qc.num_clbits(), &qc.name);
+    for op in qc.instructions() {
+        match op {
+            Op::Gate { gate, qubits } => {
+                let mapped: Vec<usize> = qubits.iter().map(|&q| pos[q]).collect();
+                out.append(*gate, &mapped);
+            }
+            Op::Barrier(qs) => {
+                let mapped: Vec<usize> =
+                    qs.iter().map(|&q| pos[q]).filter(|&q| q != usize::MAX).collect();
+                out.barrier(&mapped);
+            }
+            Op::Measure { qubit, clbit } => {
+                out.measure(pos[*qubit], *clbit);
+            }
+        }
+    }
+    out
+}
+
+/// Scenario 2: noisy density-matrix simulation after transpilation onto a
+/// calibrated device.
+///
+/// The density matrix is restricted to the physical qubits the transpiled
+/// circuit actually occupies, which keeps 4-qubit campaigns on a 7-qubit
+/// device 64× cheaper with bit-identical results (idle qubits stay in |0⟩
+/// and factor out).
+pub struct NoisyExecutor {
+    calibration: BackendCalibration,
+    transpiler: Transpiler,
+    /// Noise models per active-qubit set, built lazily.
+    model_cache: Mutex<HashMap<Vec<usize>, NoiseModel>>,
+    label: String,
+}
+
+impl NoisyExecutor {
+    /// Creates a noisy executor at the paper's `optimization_level=3`.
+    pub fn new(calibration: BackendCalibration) -> Self {
+        NoisyExecutor::with_level(calibration, OptimizationLevel::Level3)
+    }
+
+    /// Creates a noisy executor at an explicit optimization level.
+    pub fn with_level(calibration: BackendCalibration, level: OptimizationLevel) -> Self {
+        let coupling = CouplingMap::from_edges(calibration.num_qubits(), calibration.coupling());
+        let label = format!("noisy-sim({})", calibration.name);
+        NoisyExecutor {
+            transpiler: Transpiler::new(coupling, level),
+            calibration,
+            model_cache: Mutex::new(HashMap::new()),
+            label,
+        }
+    }
+
+    /// The device calibration in use.
+    pub fn calibration(&self) -> &BackendCalibration {
+        &self.calibration
+    }
+
+    /// The transpiler in use.
+    pub fn transpiler(&self) -> &Transpiler {
+        &self.transpiler
+    }
+
+    fn model_for(&self, active: &[usize]) -> NoiseModel {
+        let mut cache = self.model_cache.lock();
+        cache
+            .entry(active.to_vec())
+            .or_insert_with(|| self.calibration.restrict(active).noise_model())
+            .clone()
+    }
+}
+
+impl Executor for NoisyExecutor {
+    fn execute(&self, qc: &QuantumCircuit) -> Result<ProbDist, ExecError> {
+        let result = self.transpiler.run(qc)?;
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        let model = self.model_for(&active);
+        Ok(simulate::run_noisy(&compact, &model)?)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Scenario 3: simulated hardware — noisy simulation with per-job
+/// calibration drift and finite-shot sampling.
+pub struct HardwareExecutor {
+    base: BackendCalibration,
+    transpiler: Transpiler,
+    shots: u64,
+    drift_sigma: f64,
+    rng: Mutex<SmallRng>,
+    label: String,
+}
+
+impl HardwareExecutor {
+    /// Standard IBM-Q-like configuration: 1024 shots, 5% calibration drift.
+    pub fn new(calibration: BackendCalibration, seed: u64) -> Self {
+        HardwareExecutor::with_config(calibration, seed, 1024, 0.05)
+    }
+
+    /// Fully explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0` or `drift_sigma < 0`.
+    pub fn with_config(
+        calibration: BackendCalibration,
+        seed: u64,
+        shots: u64,
+        drift_sigma: f64,
+    ) -> Self {
+        assert!(shots > 0, "need at least one shot");
+        assert!(drift_sigma >= 0.0, "negative drift");
+        let coupling = CouplingMap::from_edges(calibration.num_qubits(), calibration.coupling());
+        let label = format!("hardware({})", calibration.name);
+        HardwareExecutor {
+            transpiler: Transpiler::new(coupling, OptimizationLevel::Level3),
+            base: calibration,
+            shots,
+            drift_sigma,
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            label,
+        }
+    }
+
+    /// Shots per job.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+}
+
+impl Executor for HardwareExecutor {
+    fn execute(&self, qc: &QuantumCircuit) -> Result<ProbDist, ExecError> {
+        let result = self.transpiler.run(qc)?;
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        // Each job sees a slightly different machine and its own shot noise.
+        let (cal, mut sample_rng) = {
+            let mut rng = self.rng.lock();
+            let cal = self.base.with_drift(&mut *rng, self.drift_sigma);
+            let sample_seed: u64 = rand::Rng::gen(&mut *rng);
+            (cal, SmallRng::seed_from_u64(sample_seed))
+        };
+        let model = cal.restrict(&active).noise_model();
+        let exact = simulate::run_noisy(&compact, &model)?;
+        let counts = exact.sample(&mut sample_rng, self.shots);
+        Ok(counts.to_prob_dist())
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_algos::bernstein_vazirani;
+
+    fn bv() -> QuantumCircuit {
+        bernstein_vazirani(0b101, 3).circuit
+    }
+
+    #[test]
+    fn ideal_executor_returns_golden() {
+        let d = IdealExecutor.execute(&bv()).unwrap();
+        assert!((d.prob(0b101) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_executor_keeps_winner_with_leakage() {
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let d = ex.execute(&bv()).unwrap();
+        assert_eq!(d.most_probable().0, 0b101);
+        assert!(d.prob(0b101) < 1.0 - 1e-4, "noise should leak probability");
+        assert!(d.prob(0b101) > 0.7);
+    }
+
+    #[test]
+    fn noisy_executor_is_deterministic() {
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let a = ex.execute(&bv()).unwrap();
+        let b = ex.execute(&bv()).unwrap();
+        assert!(a.tv_distance(&b) < 1e-15);
+    }
+
+    #[test]
+    fn compaction_matches_full_width_simulation() {
+        // Same circuit through lima (5q) vs jakarta (7q): distributions
+        // differ by calibration, but compaction itself must not corrupt
+        // anything — compare compact against manually-padded execution.
+        let cal = BackendCalibration::jakarta();
+        let ex = NoisyExecutor::new(cal.clone());
+        let qc = bv();
+        let result = ex.transpiler().run(&qc).unwrap();
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        let compact_dist =
+            simulate::run_noisy(&compact, &cal.restrict(&active).noise_model()).unwrap();
+        let full_dist =
+            simulate::run_noisy(result.circuit(), &cal.noise_model()).unwrap();
+        assert!(compact_dist.tv_distance(&full_dist) < 1e-9);
+    }
+
+    #[test]
+    fn hardware_executor_samples_and_drifts() {
+        let ex = HardwareExecutor::new(BackendCalibration::jakarta(), 11);
+        let a = ex.execute(&bv()).unwrap();
+        let b = ex.execute(&bv()).unwrap();
+        // Finite-shot noise: distributions are close but not identical.
+        assert!(a.tv_distance(&b) > 0.0);
+        assert!(a.tv_distance(&b) < 0.2);
+        // The answer still dominates.
+        assert_eq!(a.most_probable().0, 0b101);
+        // Probabilities are multiples of 1/shots.
+        let p = a.prob(0b101);
+        assert!((p * 1024.0 - (p * 1024.0).round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hardware_executor_is_reproducible_per_seed() {
+        let a = HardwareExecutor::new(BackendCalibration::jakarta(), 42)
+            .execute(&bv())
+            .unwrap();
+        let b = HardwareExecutor::new(BackendCalibration::jakarta(), 42)
+            .execute(&bv())
+            .unwrap();
+        assert!(a.tv_distance(&b) < 1e-15);
+    }
+
+    #[test]
+    fn executor_names_are_meaningful() {
+        assert_eq!(IdealExecutor.name(), "ideal");
+        assert!(NoisyExecutor::new(BackendCalibration::lima())
+            .name()
+            .contains("lima"));
+        assert!(HardwareExecutor::new(BackendCalibration::jakarta(), 0)
+            .name()
+            .contains("jakarta"));
+    }
+
+    #[test]
+    fn executors_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<IdealExecutor>();
+        assert_sync::<NoisyExecutor>();
+        assert_sync::<HardwareExecutor>();
+    }
+}

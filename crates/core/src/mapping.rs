@@ -1,0 +1,205 @@
+//! Reliability-aware qubit mapping.
+//!
+//! The paper's §I motivation: QVF information "allows a reliability-aware
+//! mapping of the circuit qubits to physical qubits, predicts the effects
+//! of faults in the quantum computation, and focuses the eventual
+//! additional fault tolerance solution to the most critical qubit(s)".
+//!
+//! This module closes that loop: it ranks **logical** qubits by their
+//! measured fault sensitivity (from a campaign) and **physical** qubits by
+//! their calibration quality, then assigns the most vulnerable logical
+//! qubits to the best physical ones — within a dense connected subgraph so
+//! routing stays cheap.
+
+use crate::campaign::CampaignResult;
+use crate::metrics::{mean, Severity};
+use qufi_noise::BackendCalibration;
+use qufi_transpile::{CouplingMap, Layout};
+
+/// Fault-sensitivity summary of one logical qubit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QubitReliability {
+    /// The logical qubit.
+    pub qubit: usize,
+    /// Mean QVF over all faults injected on this qubit.
+    pub mean_qvf: f64,
+    /// Fraction of injections that were silent data corruptions.
+    pub sdc_fraction: f64,
+    /// Number of injections behind the estimate.
+    pub samples: usize,
+}
+
+/// Per-qubit reliability profile of a campaign, sorted **most vulnerable
+/// first** (descending mean QVF).
+pub fn qubit_reliability(result: &CampaignResult) -> Vec<QubitReliability> {
+    let mut out: Vec<QubitReliability> = result
+        .injected_qubits()
+        .into_iter()
+        .map(|q| {
+            let records = result.records_for_qubit(q);
+            let qvfs: Vec<f64> = records.iter().map(|r| r.qvf).collect();
+            let sdc = records
+                .iter()
+                .filter(|r| Severity::classify(r.qvf) == Severity::Sdc)
+                .count();
+            QubitReliability {
+                qubit: q,
+                mean_qvf: mean(&qvfs),
+                sdc_fraction: sdc as f64 / records.len().max(1) as f64,
+                samples: records.len(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.mean_qvf
+            .partial_cmp(&a.mean_qvf)
+            .expect("QVF is finite")
+            .then(a.qubit.cmp(&b.qubit))
+    });
+    out
+}
+
+/// A calibration-quality score per physical qubit — higher is better.
+/// Combines coherence (T1, T2), gate fidelity and readout fidelity on a
+/// log scale so no single term dominates.
+pub fn physical_quality(cal: &BackendCalibration) -> Vec<(usize, f64)> {
+    cal.qubits
+        .iter()
+        .enumerate()
+        .map(|(q, c)| {
+            let coherence = (c.t1 * 1e6).ln() + (c.t2 * 1e6).ln();
+            let gate = -(c.gate_error_1q.max(1e-9)).ln();
+            let readout = -((c.readout_p01 + c.readout_p10).max(1e-9)).ln();
+            (q, coherence + gate + readout)
+        })
+        .collect()
+}
+
+/// Builds a reliability-aware initial layout: the dense connected subgraph
+/// hosts the circuit, and within it the most fault-sensitive logical qubits
+/// (per `campaign`) take the highest-quality physical seats (per `cal`).
+///
+/// # Panics
+///
+/// Panics if the device is smaller than the campaign's qubit count.
+pub fn reliability_aware_layout(
+    campaign: &CampaignResult,
+    cal: &BackendCalibration,
+) -> Layout {
+    let ranking = qubit_reliability(campaign);
+    let n = ranking.len();
+    let cm = CouplingMap::from_edges(cal.num_qubits(), cal.coupling());
+    assert!(n <= cm.num_qubits(), "device too small for campaign");
+
+    // Members of the dense subgraph (any assignment order).
+    let dense = Layout::dense(&cm, n);
+    let mut members: Vec<usize> = (0..n).map(|l| dense.physical(l)).collect();
+    // Order members by calibration quality, best first.
+    let quality = physical_quality(cal);
+    members.sort_by(|&a, &b| {
+        quality[b]
+            .1
+            .partial_cmp(&quality[a].1)
+            .expect("scores are finite")
+    });
+
+    // Most vulnerable logical → best physical.
+    let mut phys = vec![usize::MAX; n];
+    for (rank, entry) in ranking.iter().enumerate() {
+        phys[entry.qubit] = members[rank];
+    }
+    Layout::from_mapping(phys, cm.num_qubits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_single_campaign, CampaignOptions};
+    use crate::executor::IdealExecutor;
+    use crate::fault::FaultGrid;
+    use qufi_algos::bernstein_vazirani;
+
+    fn small_campaign() -> CampaignResult {
+        let w = bernstein_vazirani(0b101, 3);
+        run_single_campaign(
+            &w.circuit,
+            &w.correct_outputs,
+            &IdealExecutor,
+            &CampaignOptions {
+                grid: FaultGrid::coarse(),
+                points: None,
+                threads: 0,
+            },
+        )
+        .expect("campaign")
+    }
+
+    #[test]
+    fn reliability_ranking_is_sorted_and_complete() {
+        let res = small_campaign();
+        let ranking = qubit_reliability(&res);
+        assert_eq!(ranking.len(), 4);
+        for w in ranking.windows(2) {
+            assert!(w[0].mean_qvf >= w[1].mean_qvf);
+        }
+        let total: usize = ranking.iter().map(|r| r.samples).sum();
+        assert_eq!(total, res.len());
+        for r in &ranking {
+            assert!((0.0..=1.0).contains(&r.sdc_fraction));
+        }
+    }
+
+    #[test]
+    fn bv_ancilla_is_less_vulnerable_than_secret_qubits() {
+        // Faults on the BV ancilla (q3) mostly cancel through phase
+        // kickback; the measured secret qubits carry the damage.
+        let res = small_campaign();
+        let ranking = qubit_reliability(&res);
+        let pos = |q: usize| ranking.iter().position(|r| r.qubit == q).expect("ranked");
+        // The ancilla must not be the most vulnerable qubit.
+        assert!(pos(3) > 0, "ancilla ranked most vulnerable: {ranking:?}");
+    }
+
+    #[test]
+    fn quality_scores_prefer_good_qubits() {
+        let cal = BackendCalibration::lima();
+        let q = physical_quality(&cal);
+        // Lima's qubit 4 is deliberately the worst (short T1/T2, bad readout).
+        let worst = q
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty");
+        assert_eq!(worst.0, 4);
+    }
+
+    #[test]
+    fn layout_is_bijective_and_uses_device_qubits() {
+        let res = small_campaign();
+        let cal = BackendCalibration::jakarta();
+        let layout = reliability_aware_layout(&res, &cal);
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..4 {
+            let p = layout.physical(l);
+            assert!(p < 7);
+            assert!(seen.insert(p), "physical {p} used twice");
+            assert_eq!(layout.logical_on(p), Some(l));
+        }
+    }
+
+    #[test]
+    fn most_vulnerable_logical_gets_best_member_seat() {
+        let res = small_campaign();
+        let cal = BackendCalibration::jakarta();
+        let layout = reliability_aware_layout(&res, &cal);
+        let ranking = qubit_reliability(&res);
+        let quality = physical_quality(&cal);
+        let score = |l: usize| quality[layout.physical(l)].1;
+        // Quality must be non-increasing along the vulnerability ranking.
+        for pair in ranking.windows(2) {
+            assert!(
+                score(pair[0].qubit) >= score(pair[1].qubit) - 1e-12,
+                "vulnerable qubit seated worse than a robust one"
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! CSV persistence for campaign data.
+//!
+//! Campaigns at paper scale take minutes to hours; persisting the raw
+//! records lets analyses (heatmaps, histograms, qubit rankings) re-run
+//! without re-executing circuits, and lets external tooling (the paper's
+//! published data is CSV too) consume the results.
+
+use crate::campaign::InjectionRecord;
+use crate::double::DoubleInjectionRecord;
+use crate::fault::InjectionPoint;
+use core::fmt;
+
+/// A CSV parsing failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    /// Line where parsing failed.
+    pub line: usize,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(line: usize, reason: impl Into<String>) -> CsvError {
+    CsvError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(
+    fields: &[&str],
+    idx: usize,
+    line: usize,
+    name: &str,
+) -> Result<T, CsvError> {
+    fields
+        .get(idx)
+        .ok_or_else(|| err(line, format!("missing field {name}")))?
+        .trim()
+        .parse::<T>()
+        .map_err(|_| err(line, format!("bad {name} value")))
+}
+
+/// Parses records written by [`crate::report::records_to_csv`]. The
+/// trailing `severity` column is ignored (it is derivable from the QVF).
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn records_from_csv(text: &str) -> Result<Vec<InjectionRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if i == 0 {
+            if !line.starts_with("op_index,") {
+                return Err(err(lineno, "unexpected header"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        out.push(InjectionRecord {
+            point: InjectionPoint {
+                op_index: parse_field(&f, 0, lineno, "op_index")?,
+                qubit: parse_field(&f, 1, lineno, "qubit")?,
+            },
+            theta: parse_field(&f, 2, lineno, "theta")?,
+            phi: parse_field(&f, 3, lineno, "phi")?,
+            qvf: parse_field(&f, 4, lineno, "qvf")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Serializes double-injection records as CSV.
+pub fn double_records_to_csv(records: &[DoubleInjectionRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("op_index,qubit,neighbor,theta0,phi0,theta1,phi1,qvf\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            r.point.op_index, r.point.qubit, r.neighbor, r.theta0, r.phi0, r.theta1, r.phi1, r.qvf
+        );
+    }
+    out
+}
+
+/// Parses records written by [`double_records_to_csv`].
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn double_records_from_csv(text: &str) -> Result<Vec<DoubleInjectionRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if i == 0 {
+            if !line.starts_with("op_index,") {
+                return Err(err(lineno, "unexpected header"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        out.push(DoubleInjectionRecord {
+            point: InjectionPoint {
+                op_index: parse_field(&f, 0, lineno, "op_index")?,
+                qubit: parse_field(&f, 1, lineno, "qubit")?,
+            },
+            neighbor: parse_field(&f, 2, lineno, "neighbor")?,
+            theta0: parse_field(&f, 3, lineno, "theta0")?,
+            phi0: parse_field(&f, 4, lineno, "phi0")?,
+            theta1: parse_field(&f, 5, lineno, "theta1")?,
+            phi1: parse_field(&f, 6, lineno, "phi1")?,
+            qvf: parse_field(&f, 7, lineno, "qvf")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::records_to_csv;
+
+    fn sample_records() -> Vec<InjectionRecord> {
+        vec![
+            InjectionRecord {
+                point: InjectionPoint { op_index: 2, qubit: 0 },
+                theta: 0.785398,
+                phi: 3.141593,
+                qvf: 0.42,
+            },
+            InjectionRecord {
+                point: InjectionPoint { op_index: 5, qubit: 3 },
+                theta: 0.0,
+                phi: 0.261799,
+                qvf: 0.91,
+            },
+        ]
+    }
+
+    #[test]
+    fn single_records_roundtrip() {
+        let records = sample_records();
+        let csv = records_to_csv(&records);
+        let back = records_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.point, b.point);
+            assert!((a.theta - b.theta).abs() < 1e-6);
+            assert!((a.qvf - b.qvf).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn double_records_roundtrip() {
+        let records = vec![DoubleInjectionRecord {
+            point: InjectionPoint { op_index: 1, qubit: 2 },
+            neighbor: 0,
+            theta0: 3.141593,
+            phi0: 3.141593,
+            theta1: 1.570796,
+            phi1: 0.785398,
+            qvf: 0.63,
+        }];
+        let csv = double_records_to_csv(&records);
+        let back = double_records_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].neighbor, 0);
+        assert!((back[0].phi1 - 0.785398).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_header_rejected_with_line() {
+        let e = records_from_csv("nope\n1,2,3,4,5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn bad_value_reports_line_and_field() {
+        let csv = "op_index,qubit,theta,phi,qvf,severity\n1,x,0.0,0.0,0.5,masked\n";
+        let e = records_from_csv(csv).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("qubit"));
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let csv = records_to_csv(&sample_records()) + "\n\n";
+        assert_eq!(records_from_csv(&csv).unwrap().len(), 2);
+    }
+}

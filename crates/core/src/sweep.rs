@@ -1,0 +1,149 @@
+//! Noise-sensitivity sweeps.
+//!
+//! The paper injects faults over one fixed noise floor (the day's
+//! calibration). A natural follow-up question — how does the QVF landscape
+//! move as the device gets noisier or cleaner? — is answered here by
+//! sweeping a scale factor over the calibration
+//! ([`qufi_noise::BackendCalibration::scaled`]) and re-running a reduced
+//! campaign at each point. The output separates the *baseline* degradation
+//! (noise alone) from the *fault* degradation (injection on top of noise).
+
+use crate::campaign::{run_single_campaign, CampaignOptions, CampaignResult};
+use crate::error::ExecError;
+use crate::executor::NoisyExecutor;
+use qufi_noise::BackendCalibration;
+use qufi_sim::QuantumCircuit;
+
+/// One point of a noise sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Noise scale factor applied to the calibration (1.0 = nominal).
+    pub scale: f64,
+    /// QVF of the fault-free execution at this noise level.
+    pub baseline_qvf: f64,
+    /// Mean QVF over the injected faults at this noise level.
+    pub mean_qvf: f64,
+    /// Mean fault *contribution*: `mean_qvf − baseline_qvf`.
+    pub fault_delta: f64,
+    /// The underlying campaign (for deeper analysis).
+    pub campaign: CampaignResult,
+}
+
+/// Runs the same single-fault campaign at every noise scale in `scales`.
+///
+/// # Errors
+///
+/// Propagates the first campaign failure.
+///
+/// # Panics
+///
+/// Panics if a scale factor is negative.
+pub fn noise_sweep(
+    qc: &QuantumCircuit,
+    golden: &[usize],
+    base: &BackendCalibration,
+    scales: &[f64],
+    options: &CampaignOptions,
+) -> Result<Vec<SweepPoint>, ExecError> {
+    let mut out = Vec::with_capacity(scales.len());
+    for &scale in scales {
+        assert!(scale >= 0.0, "negative noise scale");
+        let ex = NoisyExecutor::new(base.scaled(scale));
+        let campaign = run_single_campaign(qc, golden, &ex, options)?;
+        let baseline_qvf = campaign.baseline_qvf;
+        let mean_qvf = campaign.mean_qvf();
+        out.push(SweepPoint {
+            scale,
+            baseline_qvf,
+            mean_qvf,
+            fault_delta: mean_qvf - baseline_qvf,
+            campaign,
+        });
+    }
+    Ok(out)
+}
+
+/// CSV rows `scale,baseline_qvf,mean_qvf,fault_delta` for a sweep.
+pub fn sweep_to_csv(points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("scale,baseline_qvf,mean_qvf,fault_delta\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.4},{:.6},{:.6},{:.6}",
+            p.scale, p.baseline_qvf, p.mean_qvf, p.fault_delta
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultGrid, InjectionPoint};
+    use qufi_algos::bernstein_vazirani;
+    use std::f64::consts::PI;
+
+    fn sweep_bv(scales: &[f64]) -> Vec<SweepPoint> {
+        let w = bernstein_vazirani(0b11, 2);
+        let opts = CampaignOptions {
+            grid: FaultGrid::custom(vec![0.0, PI / 2.0, PI], vec![0.0, PI]),
+            points: Some(vec![
+                InjectionPoint { op_index: 2, qubit: 0 },
+                InjectionPoint { op_index: 3, qubit: 1 },
+            ]),
+            threads: 0,
+        };
+        noise_sweep(
+            &w.circuit,
+            &w.correct_outputs,
+            &BackendCalibration::jakarta(),
+            scales,
+            &opts,
+        )
+        .expect("sweep")
+    }
+
+    #[test]
+    fn baseline_degrades_monotonically_with_noise() {
+        let points = sweep_bv(&[0.0, 1.0, 3.0, 6.0]);
+        for w in points.windows(2) {
+            assert!(
+                w[1].baseline_qvf >= w[0].baseline_qvf - 1e-9,
+                "baseline dropped when noise grew: {:.4} -> {:.4}",
+                w[0].baseline_qvf,
+                w[1].baseline_qvf
+            );
+        }
+        // Zero noise → perfect baseline.
+        assert!(points[0].baseline_qvf < 1e-9);
+    }
+
+    #[test]
+    fn fault_delta_shrinks_as_noise_floods_the_signal() {
+        // At extreme noise the output is garbage with or without the fault,
+        // so the fault's marginal contribution collapses.
+        let points = sweep_bv(&[0.0, 8.0]);
+        assert!(
+            points[1].fault_delta < points[0].fault_delta,
+            "fault delta should shrink under heavy noise: {:.4} vs {:.4}",
+            points[1].fault_delta,
+            points[0].fault_delta
+        );
+        assert!(points[0].fault_delta > 0.1, "faults must matter when clean");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_scale() {
+        let points = sweep_bv(&[0.5, 1.0]);
+        let csv = sweep_to_csv(&points);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("scale,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative noise scale")]
+    fn negative_scale_rejected() {
+        let _ = sweep_bv(&[-1.0]);
+    }
+}

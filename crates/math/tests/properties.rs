@@ -1,0 +1,86 @@
+//! Property-based tests of the math foundations: field axioms of the
+//! complex type (within floating-point tolerance), unitarity preservation
+//! under composition, and totality of the ZYZ decomposition over random
+//! unitaries.
+
+use proptest::prelude::*;
+use qufi_math::{zyz_decompose, CMatrix, Complex};
+
+fn arb_complex() -> impl Strategy<Value = Complex> {
+    ((-10.0f64..10.0), (-10.0f64..10.0)).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+/// A random single-qubit unitary via three Euler angles.
+fn arb_unitary() -> impl Strategy<Value = CMatrix> {
+    (
+        (0.0f64..std::f64::consts::PI),
+        (-std::f64::consts::PI..std::f64::consts::PI),
+        (-std::f64::consts::PI..std::f64::consts::PI),
+        (-std::f64::consts::PI..std::f64::consts::PI),
+    )
+        .prop_map(|(t, p, l, g)| CMatrix::u_gate(t, p, l).scale(Complex::cis(g)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn complex_multiplication_commutes_and_distributes(
+        a in arb_complex(), b in arb_complex(), c in arb_complex()
+    ) {
+        prop_assert!((a * b).approx_eq(b * a, 1e-9));
+        prop_assert!(((a + b) * c).approx_eq(a * c + b * c, 1e-7));
+    }
+
+    #[test]
+    fn conjugation_is_an_involution_and_ring_morphism(a in arb_complex(), b in arb_complex()) {
+        prop_assert!(a.conj().conj().approx_eq(a, 0.0));
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-8));
+        prop_assert!((a + b).conj().approx_eq(a.conj() + b.conj(), 1e-12));
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in arb_complex(), b in arb_complex()) {
+        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nonzero_reciprocal_is_inverse(a in arb_complex()) {
+        prop_assume!(a.norm() > 1e-3);
+        prop_assert!((a * a.recip()).approx_eq(Complex::ONE, 1e-9));
+    }
+
+    #[test]
+    fn unitary_products_stay_unitary(u in arb_unitary(), v in arb_unitary()) {
+        prop_assert!(u.is_unitary(1e-9));
+        prop_assert!(u.matmul(&v).is_unitary(1e-8));
+        prop_assert!(u.kron(&v).is_unitary(1e-8));
+    }
+
+    #[test]
+    fn adjoint_reverses_products(u in arb_unitary(), v in arb_unitary()) {
+        let lhs = u.matmul(&v).adjoint();
+        let rhs = v.adjoint().matmul(&u.adjoint());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn zyz_reconstructs_any_unitary(u in arb_unitary()) {
+        let a = zyz_decompose(&u);
+        prop_assert!(a.to_matrix().approx_eq(&u, 1e-8));
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&a.theta));
+    }
+
+    #[test]
+    fn phase_equality_ignores_global_phase(u in arb_unitary(), g in -3.0f64..3.0) {
+        let v = u.scale(Complex::cis(g));
+        prop_assert!(u.approx_eq_up_to_phase(&v, 1e-9));
+    }
+
+    #[test]
+    fn trace_is_linear(u in arb_unitary(), v in arb_unitary(), k in -5.0f64..5.0) {
+        let lhs = u.add(&v.scale_real(k)).trace();
+        let rhs = u.trace() + v.trace() * k;
+        prop_assert!(lhs.approx_eq(rhs, 1e-8));
+    }
+}

@@ -1,0 +1,458 @@
+//! Kraus-operator channels.
+//!
+//! Every channel constructor validates the completeness relation
+//! `Σ Kᵢ†Kᵢ = I` so a malformed channel fails fast rather than silently
+//! leaking trace during a million-injection campaign.
+
+use qufi_math::{CMatrix, Complex};
+
+/// A completely-positive trace-preserving (CPTP) map in Kraus form.
+///
+/// # Example
+///
+/// ```
+/// use qufi_noise::KrausChannel;
+///
+/// let ch = KrausChannel::depolarizing(0.01, 1);
+/// assert!(ch.is_cptp(1e-9));
+/// assert_eq!(ch.num_qubits(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    ops: Vec<CMatrix>,
+    num_qubits: usize,
+    superop: CMatrix,
+}
+
+impl KrausChannel {
+    /// Builds a channel from explicit Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators are empty, not square, of mismatched size, or
+    /// violate the completeness relation by more than `1e-7`.
+    pub fn from_kraus(ops: Vec<CMatrix>) -> Self {
+        assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
+        let dim = ops[0].rows();
+        assert!(dim.is_power_of_two(), "Kraus dimension must be a power of two");
+        for k in &ops {
+            assert_eq!((k.rows(), k.cols()), (dim, dim), "Kraus shape mismatch");
+        }
+        let num_qubits = dim.trailing_zeros() as usize;
+        let superop = compute_superoperator(&ops, dim);
+        let ch = KrausChannel {
+            ops,
+            num_qubits,
+            superop,
+        };
+        assert!(
+            ch.is_cptp(1e-7),
+            "Kraus operators do not satisfy completeness"
+        );
+        ch
+    }
+
+    /// The identity channel on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        KrausChannel::from_kraus(vec![CMatrix::identity(1 << n)])
+    }
+
+    /// Depolarizing channel with error probability `p` on `n ∈ {1, 2}`
+    /// qubits (Qiskit convention: with probability `p` the state is replaced
+    /// by a uniformly random Pauli image, identity included):
+    /// `ρ ↦ (1−p)ρ + p/4ⁿ Σ_P PρP`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1` and `n ∈ {1, 2}`.
+    pub fn depolarizing(p: f64, n: usize) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        assert!(n == 1 || n == 2, "depolarizing supports 1 or 2 qubits");
+        let paulis_1q = [
+            CMatrix::identity(2),
+            CMatrix::pauli_x(),
+            CMatrix::pauli_y(),
+            CMatrix::pauli_z(),
+        ];
+        let d = 4usize.pow(n as u32) as f64;
+        let mut ops = Vec::new();
+        let push = |ops: &mut Vec<CMatrix>, m: CMatrix, w: f64| {
+            if w > 0.0 {
+                ops.push(m.scale_real(w.sqrt()));
+            }
+        };
+        match n {
+            1 => {
+                for (i, pauli) in paulis_1q.iter().enumerate() {
+                    let w = if i == 0 { 1.0 - p + p / d } else { p / d };
+                    push(&mut ops, pauli.clone(), w);
+                }
+            }
+            _ => {
+                for (i, pa) in paulis_1q.iter().enumerate() {
+                    for (j, pb) in paulis_1q.iter().enumerate() {
+                        let w = if i == 0 && j == 0 {
+                            1.0 - p + p / d
+                        } else {
+                            p / d
+                        };
+                        push(&mut ops, pa.kron(pb), w);
+                    }
+                }
+            }
+        }
+        KrausChannel::from_kraus(ops)
+    }
+
+    /// Amplitude damping with decay probability `γ` (spontaneous `|1⟩→|0⟩`
+    /// relaxation — the T1 process).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ γ ≤ 1`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        let k0 = CMatrix::from_2x2(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real((1.0 - gamma).sqrt()),
+        );
+        let k1 = CMatrix::from_2x2(
+            Complex::ZERO,
+            Complex::real(gamma.sqrt()),
+            Complex::ZERO,
+            Complex::ZERO,
+        );
+        KrausChannel::from_kraus(vec![k0, k1])
+    }
+
+    /// Phase damping with dephasing probability `λ` (loss of coherence
+    /// without energy exchange — the pure-T2 process).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ λ ≤ 1`.
+    pub fn phase_damping(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda out of range");
+        let k0 = CMatrix::from_2x2(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real((1.0 - lambda).sqrt()),
+        );
+        let k1 = CMatrix::from_2x2(
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real(lambda.sqrt()),
+        );
+        KrausChannel::from_kraus(vec![k0, k1])
+    }
+
+    /// Thermal relaxation over duration `time` for a qubit with the given
+    /// `t1`/`t2` constants (zero-temperature limit: the excited-state
+    /// population relaxes toward `|0⟩`).
+    ///
+    /// This composes amplitude damping `γ₁ = 1 − e^{−t/T1}` with pure
+    /// dephasing `γ_φ = 1 − e^{−2t/T_φ}` where `1/T_φ = 1/T2 − 1/(2·T1)`,
+    /// the standard decomposition for `T2 ≤ 2·T1`; the net coherence decay
+    /// is exactly `e^{−t/T2}` and the population decay exactly `e^{−t/T1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 <= 0`, `t2 <= 0`, `time < 0` or `t2 > 2·t1`.
+    pub fn thermal_relaxation(t1: f64, t2: f64, time: f64) -> Self {
+        assert!(t1 > 0.0 && t2 > 0.0, "T1/T2 must be positive");
+        assert!(time >= 0.0, "negative duration");
+        assert!(t2 <= 2.0 * t1 + 1e-12, "T2 must not exceed 2*T1");
+        let gamma1 = 1.0 - (-time / t1).exp();
+        // Pure dephasing rate; zero when T2 == 2*T1 exactly.
+        let inv_tphi = (1.0 / t2 - 1.0 / (2.0 * t1)).max(0.0);
+        // Phase damping λ scales coherences by √(1−λ); choosing
+        // λ = 1 − e^{−2t/Tφ} makes the composed decay e^{−t/T2}.
+        let gamma_phi = 1.0 - (-2.0 * time * inv_tphi).exp();
+        KrausChannel::amplitude_damping(gamma1).compose(&KrausChannel::phase_damping(gamma_phi))
+    }
+
+    /// Pauli channel `ρ ↦ (1−px−py−pz)ρ + px·XρX + py·YρY + pz·ZρZ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are negative or sum above 1.
+    pub fn pauli(px: f64, py: f64, pz: f64) -> Self {
+        assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0, "negative probability");
+        let pi = 1.0 - px - py - pz;
+        assert!(pi >= -1e-12, "Pauli probabilities exceed 1");
+        let mut ops = Vec::new();
+        for (m, w) in [
+            (CMatrix::identity(2), pi.max(0.0)),
+            (CMatrix::pauli_x(), px),
+            (CMatrix::pauli_y(), py),
+            (CMatrix::pauli_z(), pz),
+        ] {
+            if w > 0.0 {
+                ops.push(m.scale_real(w.sqrt()));
+            }
+        }
+        KrausChannel::from_kraus(ops)
+    }
+
+    /// Bit-flip channel (`X` with probability `p`).
+    pub fn bit_flip(p: f64) -> Self {
+        KrausChannel::pauli(p, 0.0, 0.0)
+    }
+
+    /// Phase-flip channel (`Z` with probability `p`).
+    pub fn phase_flip(p: f64) -> Self {
+        KrausChannel::pauli(0.0, 0.0, p)
+    }
+
+    /// Sequential composition: `other ∘ self` (apply `self` first). The
+    /// result's Kraus set is the pairwise product set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub fn compose(&self, other: &KrausChannel) -> KrausChannel {
+        assert_eq!(self.num_qubits, other.num_qubits, "channel width mismatch");
+        let mut ops = Vec::with_capacity(self.ops.len() * other.ops.len());
+        for b in &other.ops {
+            for a in &self.ops {
+                let prod = b.matmul(a);
+                // Drop numerically-zero operators to keep the set small.
+                if prod.frobenius_norm() > 1e-12 {
+                    ops.push(prod);
+                }
+            }
+        }
+        KrausChannel::from_kraus(ops)
+    }
+
+    /// The Kraus operators.
+    #[inline]
+    pub fn kraus_operators(&self) -> &[CMatrix] {
+        &self.ops
+    }
+
+    /// The precomputed superoperator `S[(a,b),(c,d)] = Σₖ Kₖ[a,c]·K̄ₖ[b,d]`,
+    /// consumable by [`qufi_sim::DensityMatrix::apply_superoperator`].
+    #[inline]
+    pub fn superoperator(&self) -> &CMatrix {
+        &self.superop
+    }
+
+    /// Number of qubits the channel acts on.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Verifies `Σ K†K ≈ I` within `tol`.
+    pub fn is_cptp(&self, tol: f64) -> bool {
+        let dim = 1usize << self.num_qubits;
+        let mut acc = CMatrix::zeros(dim, dim);
+        for k in &self.ops {
+            acc = acc.add(&k.adjoint().matmul(k));
+        }
+        acc.approx_eq(&CMatrix::identity(dim), tol)
+    }
+
+    /// `true` when the channel is (numerically) the identity map.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        let dim = 1usize << self.num_qubits;
+        self.ops.len() == 1 && {
+            let k = &self.ops[0];
+            k.approx_eq_up_to_phase(&CMatrix::identity(dim), tol)
+        }
+    }
+}
+
+/// Builds `S[(a,b),(c,d)] = Σₖ Kₖ[a,c]·K̄ₖ[b,d]` over vectorized indices
+/// `a·dim + b` / `c·dim + d`.
+fn compute_superoperator(ops: &[CMatrix], dim: usize) -> CMatrix {
+    let mut s = CMatrix::zeros(dim * dim, dim * dim);
+    for k in ops {
+        for a in 0..dim {
+            for c in 0..dim {
+                let kac = k[(a, c)];
+                if kac == Complex::ZERO {
+                    continue;
+                }
+                for b in 0..dim {
+                    for d in 0..dim {
+                        s[(a * dim + b, c * dim + d)] += kac * k[(b, d)].conj();
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_sim::DensityMatrix;
+
+    #[test]
+    fn all_builtin_channels_are_cptp() {
+        for ch in [
+            KrausChannel::identity(1),
+            KrausChannel::depolarizing(0.0, 1),
+            KrausChannel::depolarizing(0.3, 1),
+            KrausChannel::depolarizing(1.0, 1),
+            KrausChannel::depolarizing(0.05, 2),
+            KrausChannel::amplitude_damping(0.2),
+            KrausChannel::phase_damping(0.7),
+            KrausChannel::thermal_relaxation(100e-6, 80e-6, 50e-9),
+            KrausChannel::pauli(0.1, 0.05, 0.2),
+            KrausChannel::bit_flip(0.25),
+            KrausChannel::phase_flip(0.5),
+        ] {
+            assert!(ch.is_cptp(1e-9));
+        }
+    }
+
+    #[test]
+    fn zero_strength_channels_act_as_identity() {
+        let mut a = DensityMatrix::new(1).unwrap();
+        a.apply_gate(qufi_sim::Gate::H, &[0]);
+        let before = a.clone();
+        a.apply_kraus(KrausChannel::depolarizing(0.0, 1).kraus_operators(), &[0]);
+        a.apply_kraus(KrausChannel::amplitude_damping(0.0).kraus_operators(), &[0]);
+        a.apply_kraus(
+            KrausChannel::thermal_relaxation(1.0, 1.0, 0.0).kraus_operators(),
+            &[0],
+        );
+        assert!(a
+            .probabilities()
+            .tv_distance(&before.probabilities())
+            .abs()
+            < 1e-12);
+        assert!((a.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn full_amplitude_damping_resets_to_ground() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(qufi_sim::Gate::X, &[0]);
+        rho.apply_kraus(KrausChannel::amplitude_damping(1.0).kraus_operators(), &[0]);
+        assert!((rho.probabilities().prob(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_relaxation_limits() {
+        // Long time: everything relaxes to |0>.
+        let ch = KrausChannel::thermal_relaxation(50e-6, 70e-6, 10.0);
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(qufi_sim::Gate::X, &[0]);
+        rho.apply_kraus(ch.kraus_operators(), &[0]);
+        assert!((rho.probabilities().prob(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_relaxation_population_decay_rate() {
+        // After time t, excited population should be exactly e^{-t/T1}.
+        let (t1, t2, t) = (100e-6, 120e-6, 30e-6);
+        let ch = KrausChannel::thermal_relaxation(t1, t2, t);
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(qufi_sim::Gate::X, &[0]);
+        rho.apply_kraus(ch.kraus_operators(), &[0]);
+        let expect = (-t / t1 as f64).exp();
+        assert!((rho.probabilities().prob(1) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_relaxation_coherence_decay_rate() {
+        // Off-diagonal of |+><+| decays as e^{-t/T2}.
+        let (t1, t2, t) = (80e-6, 60e-6, 25e-6);
+        let ch = KrausChannel::thermal_relaxation(t1, t2, t);
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_gate(qufi_sim::Gate::H, &[0]);
+        rho.apply_kraus(ch.kraus_operators(), &[0]);
+        let coherence = rho.entry(0, 1).norm();
+        let expect = 0.5 * (-t / t2 as f64).exp();
+        assert!(
+            (coherence - expect).abs() < 1e-9,
+            "coherence {coherence} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn depolarizing_one_converges_to_maximally_mixed() {
+        let mut rho = DensityMatrix::new(1).unwrap();
+        rho.apply_kraus(KrausChannel::depolarizing(1.0, 1).kraus_operators(), &[0]);
+        assert!((rho.probabilities().prob(0) - 0.5).abs() < 1e-12);
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_has_16_paulis() {
+        let ch = KrausChannel::depolarizing(0.5, 2);
+        assert_eq!(ch.kraus_operators().len(), 16);
+        assert_eq!(ch.num_qubits(), 2);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = KrausChannel::amplitude_damping(0.3);
+        let b = KrausChannel::phase_damping(0.4);
+        let composed = a.compose(&b);
+
+        let mut r1 = DensityMatrix::new(1).unwrap();
+        r1.apply_gate(qufi_sim::Gate::H, &[0]);
+        let mut r2 = r1.clone();
+
+        r1.apply_kraus(a.kraus_operators(), &[0]);
+        r1.apply_kraus(b.kraus_operators(), &[0]);
+        r2.apply_kraus(composed.kraus_operators(), &[0]);
+
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(r1.entry(i, j).approx_eq(r2.entry(i, j), 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "T2 must not exceed")]
+    fn t2_bound_enforced() {
+        let _ = KrausChannel::thermal_relaxation(10e-6, 30e-6, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness")]
+    fn non_cptp_rejected() {
+        let _ = KrausChannel::from_kraus(vec![CMatrix::hadamard().scale_real(0.5)]);
+    }
+
+    #[test]
+    fn cached_superoperator_matches_kraus_application() {
+        for ch in [
+            KrausChannel::depolarizing(0.07, 1),
+            KrausChannel::thermal_relaxation(90e-6, 60e-6, 400e-9),
+            KrausChannel::depolarizing(0.02, 2),
+        ] {
+            let mut qc = qufi_sim::QuantumCircuit::new(2, 0);
+            qc.h(0).cx(0, 1).t(1);
+            let mut r1 = DensityMatrix::new(2).unwrap();
+            r1.run_circuit(&qc);
+            let mut r2 = r1.clone();
+            let targets: Vec<usize> = (0..ch.num_qubits()).collect();
+            r1.apply_kraus(ch.kraus_operators(), &targets);
+            r2.apply_superoperator(ch.superoperator(), &targets);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!(r1.entry(i, j).approx_eq(r2.entry(i, j), 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(KrausChannel::identity(1).is_identity(1e-12));
+        assert!(!KrausChannel::bit_flip(0.1).is_identity(1e-12));
+    }
+}

@@ -1,0 +1,176 @@
+//! Readout-error mitigation.
+//!
+//! The standard post-processing counterpart of [`crate::ReadoutError`]:
+//! invert each qubit's 2×2 confusion matrix and apply the inverse to the
+//! measured distribution. This is what Qiskit's measurement-mitigation
+//! fitters do for uncorrelated readout noise, and it is the natural tool to
+//! separate *readout* artifacts from genuine fault propagation when
+//! analyzing QVF data.
+//!
+//! Inversion can produce small negative quasi-probabilities; they are
+//! clipped to zero and the distribution renormalized (the common
+//! least-disruptive correction).
+
+use crate::readout::ReadoutError;
+use qufi_sim::ProbDist;
+
+/// Error returned when a confusion matrix is singular (p01 + p10 = 1, i.e.
+/// readout carries no information about the prepared state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularConfusion {
+    /// The offending qubit.
+    pub qubit: usize,
+}
+
+impl core::fmt::Display for SingularConfusion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "confusion matrix of qubit {} is singular and cannot be inverted",
+            self.qubit
+        )
+    }
+}
+
+impl std::error::Error for SingularConfusion {}
+
+/// Applies the inverse confusion matrix of one qubit to a distribution.
+///
+/// # Errors
+///
+/// [`SingularConfusion`] when `1 − p01 − p10 = 0`.
+pub fn unfold_qubit(
+    dist: &ProbDist,
+    error: &ReadoutError,
+    bit: usize,
+) -> Result<ProbDist, SingularConfusion> {
+    assert!(bit < dist.num_bits(), "bit out of range");
+    // Confusion matrix M = [[1−p01, p10], [p01, 1−p10]], acting on the
+    // (P0, P1) column. det(M) = 1 − p01 − p10.
+    let det = 1.0 - error.p01() - error.p10();
+    if det.abs() < 1e-12 {
+        return Err(SingularConfusion { qubit: bit });
+    }
+    let inv00 = (1.0 - error.p10()) / det;
+    let inv01 = -error.p10() / det;
+    let inv10 = -error.p01() / det;
+    let inv11 = (1.0 - error.p01()) / det;
+
+    let mut probs: Vec<f64> = dist.probs().to_vec();
+    let mask = 1usize << bit;
+    for idx in 0..probs.len() {
+        if idx & mask != 0 {
+            continue;
+        }
+        let p0 = probs[idx];
+        let p1 = probs[idx | mask];
+        probs[idx] = inv00 * p0 + inv01 * p1;
+        probs[idx | mask] = inv10 * p0 + inv11 * p1;
+    }
+    // Clip quasi-probabilities and renormalize.
+    for p in &mut probs {
+        if *p < 0.0 {
+            *p = 0.0;
+        }
+    }
+    let total: f64 = probs.iter().sum();
+    if total > 0.0 {
+        for p in &mut probs {
+            *p /= total;
+        }
+    }
+    Ok(ProbDist::from_probs(probs, dist.num_bits()))
+}
+
+/// Applies per-qubit mitigation for every bit with a known readout error.
+///
+/// # Errors
+///
+/// Propagates the first singular confusion matrix.
+pub fn mitigate_readout(
+    dist: &ProbDist,
+    errors: &[Option<ReadoutError>],
+) -> Result<ProbDist, SingularConfusion> {
+    let mut out = dist.clone();
+    for (bit, err) in errors.iter().enumerate() {
+        if bit >= dist.num_bits() {
+            break;
+        }
+        if let Some(e) = err {
+            if !e.is_ideal() {
+                out = unfold_qubit(&out, e, bit)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::readout::apply_readout_errors;
+
+    #[test]
+    fn unfold_inverts_confusion_exactly() {
+        let err = ReadoutError::new(0.04, 0.09);
+        let truth = ProbDist::from_probs(vec![0.7, 0.3], 1);
+        let confused = err.apply_to_qubit(&truth, 0);
+        let recovered = unfold_qubit(&confused, &err, 0).unwrap();
+        assert!(recovered.tv_distance(&truth) < 1e-12);
+    }
+
+    #[test]
+    fn multi_qubit_mitigation_roundtrip() {
+        let errs = vec![
+            Some(ReadoutError::new(0.02, 0.05)),
+            Some(ReadoutError::new(0.03, 0.01)),
+            None,
+        ];
+        let truth = ProbDist::from_probs(vec![0.4, 0.1, 0.05, 0.05, 0.2, 0.1, 0.05, 0.05], 3);
+        let confused = apply_readout_errors(&truth, &errs);
+        assert!(confused.tv_distance(&truth) > 1e-3, "confusion must act");
+        let recovered = mitigate_readout(&confused, &errs).unwrap();
+        assert!(recovered.tv_distance(&truth) < 1e-10);
+    }
+
+    #[test]
+    fn clipping_keeps_distribution_valid() {
+        // Feed a distribution that was NOT produced by this confusion
+        // matrix; inversion overshoots and must be clipped + renormalized.
+        let err = ReadoutError::new(0.4, 0.4);
+        let skewed = ProbDist::from_probs(vec![1.0, 0.0], 1);
+        let out = unfold_qubit(&skewed, &err, 0).unwrap();
+        assert!((out.total() - 1.0).abs() < 1e-12);
+        assert!(out.prob(0) >= 0.0 && out.prob(1) >= 0.0);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let err = ReadoutError::new(0.5, 0.5);
+        let d = ProbDist::uniform(1);
+        assert_eq!(
+            unfold_qubit(&d, &err, 0),
+            Err(SingularConfusion { qubit: 0 })
+        );
+    }
+
+    #[test]
+    fn mitigation_improves_noisy_golden_probability() {
+        // End-to-end: BV through a noisy device; mitigation should raise the
+        // golden state's probability.
+        use crate::backend::BackendCalibration;
+        use crate::simulate;
+        let mut qc = qufi_sim::QuantumCircuit::new(2, 2);
+        qc.x(0).x(1).measure_all();
+        let cal = BackendCalibration::lima();
+        let model = cal.noise_model();
+        let noisy = simulate::run_noisy(&qc, &model).unwrap();
+        let mitigated = mitigate_readout(&noisy, model.readout_errors()).unwrap();
+        assert!(
+            mitigated.prob(0b11) > noisy.prob(0b11),
+            "mitigated {:.4} vs noisy {:.4}",
+            mitigated.prob(0b11),
+            noisy.prob(0b11)
+        );
+    }
+}

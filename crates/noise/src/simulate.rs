@@ -1,0 +1,143 @@
+//! Noisy circuit execution: the "simulation of a physical machine" scenario.
+//!
+//! Runs a circuit on the density-matrix engine, interleaving each gate with
+//! the channels its [`NoiseModel`] prescribes, then applies readout
+//! confusion before marginalizing to the classical register.
+
+use crate::model::NoiseModel;
+use crate::readout::apply_readout_errors;
+use qufi_sim::circuit::Op;
+use qufi_sim::{DensityMatrix, ProbDist, QuantumCircuit, SimError};
+
+/// Evolves the density matrix of `qc` under `model`'s gate noise.
+///
+/// Readout error is **not** applied here (it acts on the measured
+/// distribution, not the state); use [`run_noisy`] for the full pipeline.
+///
+/// # Errors
+///
+/// Returns an error when the register exceeds the density-matrix engine's
+/// width limit.
+///
+/// # Panics
+///
+/// Panics if the model covers fewer qubits than the circuit uses.
+pub fn evolve_noisy(qc: &QuantumCircuit, model: &NoiseModel) -> Result<DensityMatrix, SimError> {
+    assert!(
+        model.num_qubits() >= qc.num_qubits(),
+        "noise model covers {} qubits, circuit needs {}",
+        model.num_qubits(),
+        qc.num_qubits()
+    );
+    let mut rho = DensityMatrix::new(qc.num_qubits())?;
+    for op in qc.instructions() {
+        if let Op::Gate { gate, qubits } = op {
+            rho.apply_gate(*gate, qubits);
+            for (ch, targets) in model.channels_after(*gate, qubits) {
+                rho.apply_superoperator(ch.superoperator(), &targets);
+            }
+        }
+    }
+    Ok(rho)
+}
+
+/// Full noisy execution: gate noise, readout confusion, marginalization to
+/// the classical register. Returns the exact output distribution.
+///
+/// # Errors
+///
+/// Returns an error when the register exceeds the engine's width limit.
+pub fn run_noisy(qc: &QuantumCircuit, model: &NoiseModel) -> Result<ProbDist, SimError> {
+    let rho = evolve_noisy(qc, model)?;
+    let mut dist = rho.probabilities();
+    dist = apply_readout_errors(&dist, model.readout_errors());
+    let map = qc.measurement_map();
+    Ok(if map.is_empty() {
+        dist
+    } else {
+        dist.marginalize(&map, qc.num_clbits())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendCalibration;
+    use qufi_sim::Statevector;
+
+    fn bell() -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure_all();
+        qc
+    }
+
+    #[test]
+    fn ideal_model_reproduces_statevector() {
+        let qc = bell();
+        let d_noisy = run_noisy(&qc, &NoiseModel::ideal(2)).unwrap();
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let d_pure = sv.measurement_distribution(&qc);
+        assert!(d_noisy.tv_distance(&d_pure) < 1e-12);
+    }
+
+    #[test]
+    fn realistic_noise_degrades_but_preserves_winner() {
+        let qc = bell();
+        let model = BackendCalibration::jakarta().noise_model();
+        let d = run_noisy(&qc, &model).unwrap();
+        // Wrong outcomes appear...
+        assert!(d.prob_of("01") > 1e-4);
+        assert!(d.prob_of("10") > 1e-4);
+        // ...but Bell outcomes still dominate.
+        assert!(d.prob_of("00") + d.prob_of("11") > 0.9);
+        assert!((d.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_strictly_reduces_purity() {
+        let qc = bell();
+        let model = BackendCalibration::jakarta().noise_model();
+        let rho = evolve_noisy(&qc, &model).unwrap();
+        assert!(rho.purity() < 1.0 - 1e-6);
+        assert!(rho.is_hermitian(1e-10));
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stronger_noise_means_lower_fidelity() {
+        let qc = bell();
+        let base = BackendCalibration::jakarta();
+        let d1 = run_noisy(&qc, &base.noise_model()).unwrap();
+        let d3 = run_noisy(&qc, &base.scaled(5.0).noise_model()).unwrap();
+        let ideal = Statevector::from_circuit(&qc)
+            .unwrap()
+            .measurement_distribution(&qc);
+        assert!(d3.tv_distance(&ideal) > d1.tv_distance(&ideal));
+    }
+
+    #[test]
+    fn readout_error_visible_on_deterministic_circuit() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.x(0).measure(0, 0);
+        let cal = BackendCalibration::jakarta();
+        let d = run_noisy(&qc, &cal.noise_model()).unwrap();
+        // p10 of qubit 0 is 3.8%; gate error adds a bit more.
+        assert!(d.prob_of("0") > 0.03);
+        assert!(d.prob_of("0") < 0.08);
+    }
+
+    #[test]
+    fn unmeasured_circuit_returns_qubit_distribution() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0);
+        let d = run_noisy(&qc, &NoiseModel::ideal(2)).unwrap();
+        assert_eq!(d.num_bits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise model covers")]
+    fn model_narrower_than_circuit_panics() {
+        let qc = bell();
+        let _ = evolve_noisy(&qc, &NoiseModel::ideal(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! ASCII circuit diagrams.
+//!
+//! Renders a circuit in the familiar one-wire-per-qubit style (the view the
+//! paper's Fig. 4 uses to show where the injector gate lands):
+//!
+//! ```text
+//! q0: ─[h]───■───[h]──[M0]─
+//! q1: ─[h]───┼───[h]──[M1]─
+//! q2: ───────┼─────────────
+//! q3: ─[x]──[X]─────────────
+//! ```
+//!
+//! Columns are packed greedily: an operation starts in the earliest column
+//! where all its wires are free, which mirrors the circuit's dependency
+//! structure (and therefore its depth).
+
+use crate::circuit::{Op, QuantumCircuit};
+use crate::gate::Gate;
+
+/// One rendered column cell.
+#[derive(Debug, Clone, PartialEq)]
+enum Cell {
+    /// Horizontal wire only.
+    Wire,
+    /// A boxed label, e.g. `[h]`.
+    Boxed(String),
+    /// A control dot `■`.
+    Control,
+    /// A vertical connector through this wire `┼`.
+    Through,
+    /// An X target `[X]`.
+    Target,
+    /// Measurement into a classical bit.
+    Measure(usize),
+    /// Barrier mark.
+    Barrier,
+}
+
+/// Renders the circuit as ASCII art.
+///
+/// # Example
+///
+/// ```
+/// use qufi_sim::{diagram, QuantumCircuit};
+///
+/// let mut qc = QuantumCircuit::new(2, 2);
+/// qc.h(0).cx(0, 1).measure_all();
+/// let art = diagram::draw(&qc);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("[h]"));
+/// ```
+pub fn draw(qc: &QuantumCircuit) -> String {
+    let n = qc.num_qubits();
+    // grid[qubit] = cells per column.
+    let mut grid: Vec<Vec<Cell>> = vec![Vec::new(); n];
+    // Next free column per qubit.
+    let mut free = vec![0usize; n];
+
+    let place = |grid: &mut Vec<Vec<Cell>>, free: &mut Vec<usize>, wires: &[usize], cells: Vec<(usize, Cell)>| {
+        let lo = *wires.iter().min().expect("nonempty");
+        let hi = *wires.iter().max().expect("nonempty");
+        let col = (lo..=hi).map(|q| free[q]).max().unwrap_or(0);
+        for q in 0..n {
+            while grid[q].len() < col {
+                grid[q].push(Cell::Wire);
+            }
+        }
+        for q in lo..=hi {
+            let cell = cells
+                .iter()
+                .find(|(w, _)| *w == q)
+                .map(|(_, c)| c.clone())
+                .unwrap_or(Cell::Through);
+            if grid[q].len() == col {
+                grid[q].push(cell);
+            } else {
+                grid[q][col] = cell;
+            }
+            free[q] = col + 1;
+        }
+    };
+
+    for op in qc.instructions() {
+        match op {
+            Op::Gate { gate, qubits } => match gate {
+                Gate::Cx => place(
+                    &mut grid,
+                    &mut free,
+                    qubits,
+                    vec![(qubits[0], Cell::Control), (qubits[1], Cell::Target)],
+                ),
+                Gate::Cz | Gate::Cp(_) => place(
+                    &mut grid,
+                    &mut free,
+                    qubits,
+                    vec![
+                        (qubits[0], Cell::Control),
+                        (qubits[1], Cell::Boxed(short_label(*gate))),
+                    ],
+                ),
+                Gate::Swap => place(
+                    &mut grid,
+                    &mut free,
+                    qubits,
+                    vec![
+                        (qubits[0], Cell::Boxed("x".into())),
+                        (qubits[1], Cell::Boxed("x".into())),
+                    ],
+                ),
+                Gate::Ccx => place(
+                    &mut grid,
+                    &mut free,
+                    qubits,
+                    vec![
+                        (qubits[0], Cell::Control),
+                        (qubits[1], Cell::Control),
+                        (qubits[2], Cell::Target),
+                    ],
+                ),
+                g => place(
+                    &mut grid,
+                    &mut free,
+                    qubits,
+                    vec![(qubits[0], Cell::Boxed(short_label(*g)))],
+                ),
+            },
+            Op::Barrier(qs) => {
+                if !qs.is_empty() {
+                    let cells = qs.iter().map(|&q| (q, Cell::Barrier)).collect();
+                    place(&mut grid, &mut free, qs, cells);
+                }
+            }
+            Op::Measure { qubit, clbit } => place(
+                &mut grid,
+                &mut free,
+                &[*qubit],
+                vec![(*qubit, Cell::Measure(*clbit))],
+            ),
+        }
+    }
+
+    // Pad all wires to the same length.
+    let width = free.iter().copied().max().unwrap_or(0);
+    for row in &mut grid {
+        while row.len() < width {
+            row.push(Cell::Wire);
+        }
+    }
+
+    // Column display widths.
+    let col_width = |col: usize| -> usize {
+        grid.iter()
+            .map(|row| cell_text(&row[col]).chars().count())
+            .max()
+            .unwrap_or(1)
+    };
+    let widths: Vec<usize> = (0..width).map(col_width).collect();
+
+    let mut out = String::new();
+    for (q, row) in grid.iter().enumerate() {
+        out.push_str(&format!("q{q}: ─"));
+        for (col, cell) in row.iter().enumerate() {
+            let text = cell_text(cell);
+            let pad = widths[col] - text.chars().count();
+            out.push_str(&text);
+            for _ in 0..pad {
+                out.push('─');
+            }
+            out.push('─');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn cell_text(cell: &Cell) -> String {
+    match cell {
+        Cell::Wire => "─".to_string(),
+        Cell::Boxed(l) => format!("[{l}]"),
+        Cell::Control => "■".to_string(),
+        Cell::Through => "┼".to_string(),
+        Cell::Target => "[X]".to_string(),
+        Cell::Measure(c) => format!("[M{c}]"),
+        Cell::Barrier => "░".to_string(),
+    }
+}
+
+fn short_label(gate: Gate) -> String {
+    match gate {
+        Gate::U(t, p, l) => format!("u({t:.2},{p:.2},{l:.2})"),
+        Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::P(a) | Gate::Cp(a) => {
+            format!("{}({a:.2})", gate.name())
+        }
+        g => g.name().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wire_sequence() {
+        let mut qc = QuantumCircuit::new(1, 1);
+        qc.h(0).t(0).measure(0, 0);
+        let art = draw(&qc);
+        assert!(art.contains("[h]"));
+        assert!(art.contains("[t]"));
+        assert!(art.contains("[M0]"));
+        // Gates appear in order on the single line.
+        let line = art.lines().next().expect("one line");
+        let h = line.find("[h]").expect("h");
+        let t = line.find("[t]").expect("t");
+        assert!(h < t);
+    }
+
+    #[test]
+    fn cx_draws_control_and_target() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.cx(0, 1);
+        let art = draw(&qc);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('■'));
+        assert!(lines[1].contains("[X]"));
+    }
+
+    #[test]
+    fn intermediate_wire_shows_through_connector() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.cx(0, 2);
+        let art = draw(&qc);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('┼'), "middle wire missing connector:\n{art}");
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut a = QuantumCircuit::new(2, 0);
+        a.h(0).h(1);
+        let mut b = QuantumCircuit::new(2, 0);
+        b.h(0).h(0);
+        // Parallel: both h's in one column → narrower than sequential.
+        let wa = draw(&a).lines().next().expect("line").chars().count();
+        let wb = draw(&b).lines().next().expect("line").chars().count();
+        assert!(wa < wb, "parallel {wa} vs sequential {wb}");
+    }
+
+    #[test]
+    fn fault_injector_gate_is_visible() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.u(0.79, 0.0, 0.0, 0);
+        let art = draw(&qc);
+        assert!(art.contains("u(0.79"), "{art}");
+    }
+
+    #[test]
+    fn barrier_marks_selected_wires() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).barrier(&[0, 1]).h(1);
+        let art = draw(&qc);
+        assert_eq!(art.matches('░').count(), 2);
+    }
+
+    #[test]
+    fn every_wire_has_a_row() {
+        let qc = QuantumCircuit::new(5, 0);
+        let art = draw(&qc);
+        assert_eq!(art.lines().count(), 5);
+        for q in 0..5 {
+            assert!(art.contains(&format!("q{q}: ")));
+        }
+    }
+}

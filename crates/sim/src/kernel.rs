@@ -1,0 +1,188 @@
+//! Index-arithmetic kernels shared by the statevector and density-matrix
+//! engines.
+//!
+//! A `k`-qubit unitary applied to an `n`-qubit register never materializes a
+//! `2^n × 2^n` matrix: it transforms groups of `2^k` amplitudes in place.
+//! The same kernel serves the density matrix by walking the row axis
+//! (`stride = dim`) and the column axis (`stride = 1`) separately, and
+//! channel superoperators by treating ρ as a statevector over `2n` bits.
+//!
+//! The kernel is allocation-free (fixed stack buffers) because campaigns
+//! call it hundreds of millions of times.
+
+use qufi_math::{CMatrix, Complex};
+
+/// Largest supported operand count: 3-qubit gates (Toffoli) and 2-qubit
+/// channel superoperators (4 combined row/column bits).
+pub(crate) const MAX_KERNEL_QUBITS: usize = 4;
+
+/// Applies `u` (a `2^k × 2^k` unitary over the listed `qubits`) to the
+/// amplitudes found at `data[base + index * stride]` for `index` in
+/// `0..2^n`.
+///
+/// Matrix-index convention: bit `k-1-j` of a matrix index corresponds to
+/// `qubits[j]`, i.e. the **first operand is the most significant** matrix
+/// bit, matching [`CMatrix::cnot`] (control first).
+///
+/// When `conjugate` is true the element-wise conjugate of `u` is used
+/// (needed for the density-matrix column pass: `ρ ↦ K ρ K†`).
+pub(crate) fn apply_unitary_strided(
+    data: &mut [Complex],
+    u: &CMatrix,
+    qubits: &[usize],
+    n: usize,
+    base: usize,
+    stride: usize,
+    conjugate: bool,
+) {
+    let k = qubits.len();
+    debug_assert_eq!(u.rows(), 1 << k, "matrix size does not match qubit count");
+    debug_assert!(qubits.iter().all(|&q| q < n));
+    assert!(
+        k <= MAX_KERNEL_QUBITS,
+        "kernel supports at most {MAX_KERNEL_QUBITS} operand qubits"
+    );
+
+    // Offsets (in state-index units) contributed by each matrix bit.
+    // Matrix bit (k-1-j) <-> qubits[j].
+    let mut bit_offsets = [0usize; MAX_KERNEL_QUBITS];
+    for (j, &q) in qubits.iter().enumerate() {
+        bit_offsets[k - 1 - j] = 1usize << q;
+    }
+
+    // Sorted qubit positions for enumerating the "rest" space.
+    let mut sorted = [0usize; MAX_KERNEL_QUBITS];
+    sorted[..k].copy_from_slice(qubits);
+    sorted[..k].sort_unstable();
+
+    let m = 1usize << k;
+    let rest = 1usize << (n - k);
+
+    // Precompute the data offset of each matrix index (deposit of its bits).
+    let mut pos = [0usize; 1 << MAX_KERNEL_QUBITS];
+    for (mm, slot) in pos.iter_mut().enumerate().take(m) {
+        let mut off = 0usize;
+        for (b, &bo) in bit_offsets.iter().enumerate().take(k) {
+            if (mm >> b) & 1 == 1 {
+                off |= bo;
+            }
+        }
+        *slot = off;
+    }
+
+    let mut gathered = [Complex::ZERO; 1 << MAX_KERNEL_QUBITS];
+    let umat = u.as_slice();
+
+    for r in 0..rest {
+        // Deposit the rest-bits of `r` around the holes at `sorted`.
+        let mut idx = r;
+        for &q in &sorted[..k] {
+            let low = idx & ((1 << q) - 1);
+            idx = ((idx >> q) << (q + 1)) | low;
+        }
+        // Gather, transform, scatter.
+        for mm in 0..m {
+            gathered[mm] = data[base + (idx | pos[mm]) * stride];
+        }
+        for row in 0..m {
+            let mut acc = Complex::ZERO;
+            let urow = &umat[row * m..(row + 1) * m];
+            if conjugate {
+                for (col, &g) in gathered.iter().enumerate().take(m) {
+                    acc += urow[col].conj() * g;
+                }
+            } else {
+                for (col, &g) in gathered.iter().enumerate().take(m) {
+                    acc += urow[col] * g;
+                }
+            }
+            data[base + (idx | pos[row]) * stride] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_gate_on_lsb() {
+        // |0> --X--> |1> on a 2-qubit register (qubit 0).
+        let mut v = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
+        apply_unitary_strided(&mut v, &CMatrix::pauli_x(), &[0], 2, 0, 1, false);
+        assert!(v[1].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn single_qubit_gate_on_msb() {
+        let mut v = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
+        apply_unitary_strided(&mut v, &CMatrix::pauli_x(), &[1], 2, 0, 1, false);
+        assert!(v[2].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn cnot_control_order() {
+        // control = qubit 0, target = qubit 1; state |01> (q0=1) -> |11>.
+        let mut v = vec![Complex::ZERO, Complex::ONE, Complex::ZERO, Complex::ZERO];
+        apply_unitary_strided(&mut v, &CMatrix::cnot(), &[0, 1], 2, 0, 1, false);
+        assert!(v[3].approx_eq(Complex::ONE, 1e-15), "{v:?}");
+
+        // control = qubit 1: |01> unchanged.
+        let mut v = vec![Complex::ZERO, Complex::ONE, Complex::ZERO, Complex::ZERO];
+        apply_unitary_strided(&mut v, &CMatrix::cnot(), &[1, 0], 2, 0, 1, false);
+        assert!(v[1].approx_eq(Complex::ONE, 1e-15), "{v:?}");
+    }
+
+    #[test]
+    fn conjugate_flag_conjugates_entries() {
+        let s = CMatrix::phase(std::f64::consts::FRAC_PI_2); // diag(1, i)
+        let mut v = vec![Complex::ZERO, Complex::ONE];
+        apply_unitary_strided(&mut v, &s, &[0], 1, 0, 1, true);
+        assert!(v[1].approx_eq(-Complex::I, 1e-15));
+    }
+
+    #[test]
+    fn strided_access_touches_only_one_row() {
+        // A 2x2 "matrix of amplitudes" stored row-major; apply X to the row
+        // axis of column 1 only (base=1, stride=2).
+        let mut d = vec![
+            Complex::real(1.0),
+            Complex::real(2.0),
+            Complex::real(3.0),
+            Complex::real(4.0),
+        ];
+        apply_unitary_strided(&mut d, &CMatrix::pauli_x(), &[0], 1, 1, 2, false);
+        // Column 1 was (2, 4) -> (4, 2); column 0 untouched.
+        assert!(d[0].approx_eq(Complex::real(1.0), 1e-15));
+        assert!(d[1].approx_eq(Complex::real(4.0), 1e-15));
+        assert!(d[2].approx_eq(Complex::real(3.0), 1e-15));
+        assert!(d[3].approx_eq(Complex::real(2.0), 1e-15));
+    }
+
+    #[test]
+    fn three_qubit_gate_supported() {
+        // Toffoli |110> -> |111> with operands [c0=2, c1=1, t=0].
+        let mut v = vec![Complex::ZERO; 8];
+        v[0b110] = Complex::ONE;
+        let ccx = qufi_math::CMatrix::identity(8); // placeholder shape check
+        let _ = ccx;
+        let ccx = {
+            let mut m = qufi_math::CMatrix::identity(8);
+            m[(6, 6)] = Complex::ZERO;
+            m[(7, 7)] = Complex::ZERO;
+            m[(6, 7)] = Complex::ONE;
+            m[(7, 6)] = Complex::ONE;
+            m
+        };
+        apply_unitary_strided(&mut v, &ccx, &[2, 1, 0], 3, 0, 1, false);
+        assert!(v[0b111].approx_eq(Complex::ONE, 1e-15), "{v:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel supports at most")]
+    fn too_many_operands_rejected() {
+        let mut v = vec![Complex::ONE; 32];
+        let u = CMatrix::identity(32);
+        apply_unitary_strided(&mut v, &u, &[0, 1, 2, 3, 4], 5, 0, 1, false);
+    }
+}

@@ -1,0 +1,252 @@
+//! Pauli-string observables and expectation values.
+//!
+//! Fault-injection research often tracks how a fault perturbs an
+//! expectation value `⟨ψ|P|ψ⟩` rather than the full distribution; this
+//! module provides Pauli strings (`"ZZI"`, `"XIY"`, …) evaluated against
+//! both engines.
+
+use crate::density::DensityMatrix;
+use crate::error::SimError;
+use crate::statevector::Statevector;
+use qufi_math::Complex;
+use std::str::FromStr;
+
+/// A single-qubit Pauli factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of Pauli factors; index 0 acts on qubit 0 (LSB).
+///
+/// # Example
+///
+/// ```
+/// use qufi_sim::{observable::PauliString, QuantumCircuit, Statevector};
+///
+/// // ⟨Z⟩ of |+⟩ is 0; ⟨X⟩ is 1.
+/// let mut qc = QuantumCircuit::new(1, 0);
+/// qc.h(0);
+/// let sv = Statevector::from_circuit(&qc).unwrap();
+/// let z: PauliString = "Z".parse().unwrap();
+/// let x: PauliString = "X".parse().unwrap();
+/// assert!(z.expectation_state(&sv).abs() < 1e-12);
+/// assert!((x.expectation_state(&sv) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    factors: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Builds from explicit factors (index 0 = qubit 0).
+    pub fn new(factors: Vec<Pauli>) -> Self {
+        PauliString { factors }
+    }
+
+    /// All-Z string of the given width (the parity observable).
+    pub fn all_z(n: usize) -> Self {
+        PauliString {
+            factors: vec![Pauli::Z; n],
+        }
+    }
+
+    /// Number of qubits the string covers.
+    pub fn num_qubits(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factor on qubit `q`.
+    pub fn factor(&self, q: usize) -> Pauli {
+        self.factors[q]
+    }
+
+    /// Applies the string to a computational basis state index, returning
+    /// `(phase, new_index)` such that `P|idx⟩ = phase·|new_index⟩`.
+    fn apply_to_basis(&self, idx: usize) -> (Complex, usize) {
+        let mut phase = Complex::ONE;
+        let mut out = idx;
+        for (q, &p) in self.factors.iter().enumerate() {
+            let bit = (idx >> q) & 1;
+            match p {
+                Pauli::I => {}
+                Pauli::X => out ^= 1 << q,
+                Pauli::Y => {
+                    out ^= 1 << q;
+                    // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                    phase = phase * if bit == 0 { Complex::I } else { -Complex::I };
+                }
+                Pauli::Z => {
+                    if bit == 1 {
+                        phase = -phase;
+                    }
+                }
+            }
+        }
+        (phase, out)
+    }
+
+    /// Expectation value `⟨ψ|P|ψ⟩` against a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn expectation_state(&self, sv: &Statevector) -> f64 {
+        assert_eq!(sv.num_qubits(), self.num_qubits(), "width mismatch");
+        let mut acc = Complex::ZERO;
+        for idx in 0..(1usize << self.num_qubits()) {
+            let a = sv.amp(idx);
+            if a == Complex::ZERO {
+                continue;
+            }
+            let (phase, j) = self.apply_to_basis(idx);
+            // ⟨ψ|P|ψ⟩ = Σ_idx conj(ψ_j)·phase·ψ_idx with P|idx⟩ = phase|j⟩.
+            acc += sv.amp(j).conj() * phase * a;
+        }
+        acc.re
+    }
+
+    /// Expectation value `Tr(ρP)` against a density matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn expectation_density(&self, rho: &DensityMatrix) -> f64 {
+        assert_eq!(rho.num_qubits(), self.num_qubits(), "width mismatch");
+        let mut acc = Complex::ZERO;
+        for idx in 0..rho.dim() {
+            let (phase, j) = self.apply_to_basis(idx);
+            // Tr(ρP) = Σ_idx ⟨idx|ρP|idx⟩ = Σ_idx phase·ρ[idx][j]... careful:
+            // P|idx⟩ = phase|j⟩ so ⟨idx|ρ P|idx⟩ = phase·⟨idx|ρ|j⟩ = phase·ρ[idx][j].
+            acc += phase * rho.entry(idx, j);
+        }
+        acc.re
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = SimError;
+
+    /// Parses `"ZXI"` with the **leftmost character acting on the highest
+    /// qubit** (matching bitstring rendering).
+    fn from_str(s: &str) -> Result<Self, SimError> {
+        let mut factors = Vec::with_capacity(s.len());
+        for c in s.chars().rev() {
+            factors.push(match c.to_ascii_uppercase() {
+                'I' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                other => {
+                    return Err(SimError::Unsupported(format!(
+                        "pauli character {other:?}"
+                    )))
+                }
+            });
+        }
+        Ok(PauliString { factors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::QuantumCircuit;
+
+    fn state(build: impl FnOnce(&mut QuantumCircuit)) -> Statevector {
+        let mut qc = QuantumCircuit::new(2, 0);
+        build(&mut qc);
+        Statevector::from_circuit(&qc).unwrap()
+    }
+
+    #[test]
+    fn z_on_basis_states() {
+        let zero = state(|_| {});
+        let one = state(|qc| {
+            qc.x(0);
+        });
+        let z: PauliString = "IZ".parse().unwrap();
+        assert!((z.expectation_state(&zero) - 1.0).abs() < 1e-12);
+        assert!((z.expectation_state(&one) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_on_bell_state_is_one() {
+        let bell = state(|qc| {
+            qc.h(0).cx(0, 1);
+        });
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let xx: PauliString = "XX".parse().unwrap();
+        let zi: PauliString = "ZI".parse().unwrap();
+        assert!((zz.expectation_state(&bell) - 1.0).abs() < 1e-12);
+        assert!((xx.expectation_state(&bell) - 1.0).abs() < 1e-12);
+        assert!(zi.expectation_state(&bell).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_on_y_eigenstate() {
+        // S·H|0⟩ = (|0⟩ + i|1⟩)/√2, the +1 eigenstate of Y.
+        let plus_i = state(|qc| {
+            qc.h(0).s(0);
+        });
+        let y: PauliString = "IY".parse().unwrap();
+        assert!((y.expectation_state(&plus_i) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_matches_statevector() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cx(0, 1).t(1).ry(0.4, 0);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let rho = DensityMatrix::from_statevector(&sv);
+        for s in ["ZZ", "XI", "IY", "XY", "ZX"] {
+            let p: PauliString = s.parse().unwrap();
+            assert!(
+                (p.expectation_state(&sv) - p.expectation_density(&rho)).abs() < 1e-10,
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn expectation_bounded_by_one() {
+        let sv = state(|qc| {
+            qc.h(0).t(0).cx(0, 1).ry(1.1, 1);
+        });
+        for s in ["ZZ", "XX", "YY", "XZ", "IZ"] {
+            let p: PauliString = s.parse().unwrap();
+            let v = p.expectation_state(&sv);
+            assert!(v.abs() <= 1.0 + 1e-12, "{s}: {v}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ZQ".parse::<PauliString>().is_err());
+        let ok: PauliString = "ixyz".parse().unwrap();
+        assert_eq!(ok.num_qubits(), 4);
+        // Leftmost char is the highest qubit.
+        assert_eq!(ok.factor(3), Pauli::I);
+        assert_eq!(ok.factor(0), Pauli::Z);
+    }
+
+    #[test]
+    fn all_z_is_parity() {
+        let p = PauliString::all_z(2);
+        let odd = state(|qc| {
+            qc.x(0);
+        });
+        let even = state(|qc| {
+            qc.x(0).x(1);
+        });
+        assert!((p.expectation_state(&odd) + 1.0).abs() < 1e-12);
+        assert!((p.expectation_state(&even) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,383 @@
+//! OpenQASM 2.0 export and import.
+//!
+//! QuFI "can export [faulty circuits] as QASM files to load and execute the
+//! circuits on different systems" (§IV-B). [`to_qasm`] emits standard
+//! OpenQASM 2.0; [`from_qasm`] parses the subset this crate emits (plus
+//! simple `pi`-expressions in parameters), enough for lossless round-trips.
+
+use crate::circuit::{Op, QuantumCircuit};
+use crate::error::SimError;
+use crate::gate::Gate;
+use std::f64::consts::PI;
+use std::fmt::Write as _;
+
+/// Serializes a circuit as OpenQASM 2.0.
+///
+/// # Example
+///
+/// ```
+/// use qufi_sim::{qasm, QuantumCircuit};
+///
+/// let mut qc = QuantumCircuit::new(2, 2);
+/// qc.h(0).cx(0, 1).measure_all();
+/// let text = qasm::to_qasm(&qc);
+/// assert!(text.contains("cx q[0],q[1];"));
+/// let back = qasm::from_qasm(&text).unwrap();
+/// assert_eq!(back.gate_count(), qc.gate_count());
+/// ```
+pub fn to_qasm(qc: &QuantumCircuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    if !qc.name.is_empty() {
+        let _ = writeln!(out, "// circuit: {}", qc.name);
+    }
+    let _ = writeln!(out, "qreg q[{}];", qc.num_qubits());
+    if qc.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", qc.num_clbits());
+    }
+    for op in qc.instructions() {
+        match op {
+            Op::Gate { gate, qubits } => {
+                let params = gate.params();
+                let qs: Vec<String> = qubits.iter().map(|q| format!("q[{q}]")).collect();
+                if params.is_empty() {
+                    let _ = writeln!(out, "{} {};", gate.name(), qs.join(","));
+                } else {
+                    let ps: Vec<String> = params.iter().map(|p| format!("{p:.12}")).collect();
+                    let _ = writeln!(out, "{}({}) {};", gate.name(), ps.join(","), qs.join(","));
+                }
+            }
+            Op::Barrier(qs) => {
+                let qs: Vec<String> = qs.iter().map(|q| format!("q[{q}]")).collect();
+                let _ = writeln!(out, "barrier {};", qs.join(","));
+            }
+            Op::Measure { qubit, clbit } => {
+                let _ = writeln!(out, "measure q[{qubit}] -> c[{clbit}];");
+            }
+        }
+    }
+    out
+}
+
+/// Parses the OpenQASM 2.0 subset emitted by [`to_qasm`].
+///
+/// # Errors
+///
+/// Returns [`SimError::QasmParse`] with a line number on malformed input,
+/// unknown gates, or out-of-range registers.
+pub fn from_qasm(text: &str) -> Result<QuantumCircuit, SimError> {
+    let mut qc: Option<QuantumCircuit> = None;
+    let mut n_q = 0usize;
+    let mut n_c = 0usize;
+    let mut pending: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                n_q = parse_reg_decl(rest, lineno)?;
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("creg") {
+                n_c = parse_reg_decl(rest, lineno)?;
+                continue;
+            }
+            // Defer gate statements until registers are known.
+            pending.push((lineno, stmt.to_string()));
+        }
+    }
+
+    let mut circuit = QuantumCircuit::new(n_q, n_c);
+    for (lineno, stmt) in pending {
+        apply_statement(&mut circuit, &stmt, lineno)?;
+    }
+    qc.replace(circuit);
+    Ok(qc.expect("circuit constructed"))
+}
+
+fn parse_reg_decl(rest: &str, line: usize) -> Result<usize, SimError> {
+    // e.g. ` q[4]`
+    let rest = rest.trim();
+    let open = rest.find('[').ok_or_else(|| err(line, "missing '['"))?;
+    let close = rest.find(']').ok_or_else(|| err(line, "missing ']'"))?;
+    rest[open + 1..close]
+        .parse::<usize>()
+        .map_err(|_| err(line, "bad register size"))
+}
+
+fn err(line: usize, reason: &str) -> SimError {
+    SimError::QasmParse {
+        line,
+        reason: reason.to_string(),
+    }
+}
+
+fn apply_statement(qc: &mut QuantumCircuit, stmt: &str, line: usize) -> Result<(), SimError> {
+    if let Some(rest) = stmt.strip_prefix("measure") {
+        let parts: Vec<&str> = rest.split("->").collect();
+        if parts.len() != 2 {
+            return Err(err(line, "malformed measure"));
+        }
+        let q = parse_ref(parts[0], 'q', line)?;
+        let c = parse_ref(parts[1], 'c', line)?;
+        if q >= qc.num_qubits() {
+            return Err(err(line, "measure qubit out of range"));
+        }
+        if c >= qc.num_clbits() {
+            return Err(err(line, "measure clbit out of range"));
+        }
+        qc.measure(q, c);
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("barrier") {
+        let qs = parse_qubit_list(rest, line)?;
+        qc.barrier(&qs);
+        return Ok(());
+    }
+
+    // gate[(params)] q[i](,q[j])*
+    let (head, operands) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
+            (&stmt[..pos], &stmt[pos..])
+        }
+        _ => {
+            // Parameterized gates may contain spaces inside parens; split at
+            // the closing paren instead.
+            match stmt.find(')') {
+                Some(pos) => (&stmt[..=pos], &stmt[pos + 1..]),
+                None => return Err(err(line, "malformed statement")),
+            }
+        }
+    };
+    let (name, params) = match head.find('(') {
+        Some(open) => {
+            let close = head.rfind(')').ok_or_else(|| err(line, "missing ')'"))?;
+            let params: Result<Vec<f64>, SimError> = head[open + 1..close]
+                .split(',')
+                .map(|s| parse_angle(s.trim(), line))
+                .collect();
+            (&head[..open], params?)
+        }
+        None => (head, Vec::new()),
+    };
+
+    let qubits = parse_qubit_list(operands, line)?;
+    let gate = gate_from_name(name, &params, line)?;
+    qc.try_append(gate, &qubits)
+        .map_err(|e| err(line, &e.to_string()))?;
+    Ok(())
+}
+
+fn gate_from_name(name: &str, params: &[f64], line: usize) -> Result<Gate, SimError> {
+    let need = |n: usize| -> Result<(), SimError> {
+        if params.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, &format!("gate {name} expects {n} parameters")))
+        }
+    };
+    let g = match name {
+        "id" => Gate::I,
+        "h" => Gate::H,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "sx" => Gate::Sx,
+        "sxdg" => Gate::Sxdg,
+        "rx" => {
+            need(1)?;
+            Gate::Rx(params[0])
+        }
+        "ry" => {
+            need(1)?;
+            Gate::Ry(params[0])
+        }
+        "rz" => {
+            need(1)?;
+            Gate::Rz(params[0])
+        }
+        "p" | "u1" => {
+            need(1)?;
+            Gate::P(params[0])
+        }
+        "u" | "u3" => {
+            need(3)?;
+            Gate::U(params[0], params[1], params[2])
+        }
+        "cx" => Gate::Cx,
+        "cz" => Gate::Cz,
+        "cp" | "cu1" => {
+            need(1)?;
+            Gate::Cp(params[0])
+        }
+        "swap" => Gate::Swap,
+        "ccx" => Gate::Ccx,
+        other => return Err(err(line, &format!("unknown gate {other}"))),
+    };
+    Ok(g)
+}
+
+fn parse_qubit_list(s: &str, line: usize) -> Result<Vec<usize>, SimError> {
+    s.split(',')
+        .map(|part| parse_ref(part, 'q', line))
+        .collect()
+}
+
+fn parse_ref(s: &str, reg: char, line: usize) -> Result<usize, SimError> {
+    let s = s.trim();
+    let expected = format!("{reg}[");
+    if !s.starts_with(&expected) || !s.ends_with(']') {
+        return Err(err(line, &format!("expected {reg}[i], got {s:?}")));
+    }
+    s[expected.len()..s.len() - 1]
+        .parse::<usize>()
+        .map_err(|_| err(line, "bad register index"))
+}
+
+/// Parses a parameter that may be a float or a simple `pi` expression:
+/// `pi`, `-pi`, `pi/2`, `3*pi/4`, `0.25*pi`.
+fn parse_angle(s: &str, line: usize) -> Result<f64, SimError> {
+    if let Ok(v) = s.parse::<f64>() {
+        return Ok(v);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, s),
+    };
+    let (num, den) = match body.split_once('/') {
+        Some((n, d)) => (
+            n.trim().to_string(),
+            d.trim()
+                .parse::<f64>()
+                .map_err(|_| err(line, "bad denominator"))?,
+        ),
+        None => (body.to_string(), 1.0),
+    };
+    let coeff = if num == "pi" {
+        1.0
+    } else if let Some(c) = num.strip_suffix("*pi") {
+        c.trim()
+            .parse::<f64>()
+            .map_err(|_| err(line, "bad pi coefficient"))?
+    } else {
+        return Err(err(line, &format!("cannot parse angle {s:?}")));
+    };
+    let v = coeff * PI / den;
+    Ok(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::Statevector;
+
+    fn roundtrip(qc: &QuantumCircuit) -> QuantumCircuit {
+        from_qasm(&to_qasm(qc)).expect("roundtrip parse")
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0)
+            .cx(0, 1)
+            .u(0.3, 1.2, 2.1, 2)
+            .cp(0.7, 1, 2)
+            .barrier(&[])
+            .t(0)
+            .sdg(1)
+            .swap(0, 2)
+            .measure_all();
+        let back = roundtrip(&qc);
+        assert_eq!(back.num_qubits(), 3);
+        assert_eq!(back.num_clbits(), 3);
+        assert_eq!(back.gate_count(), qc.gate_count());
+        let a = Statevector::from_circuit(&qc).unwrap();
+        let b = Statevector::from_circuit(&back).unwrap();
+        assert!(a.probabilities().tv_distance(&b.probabilities()) < 1e-9);
+    }
+
+    #[test]
+    fn emits_standard_header() {
+        let qc = QuantumCircuit::new(1, 1);
+        let text = to_qasm(&qc);
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qelib1.inc"));
+        assert!(text.contains("qreg q[1];"));
+        assert!(text.contains("creg c[1];"));
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let text = "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(3*pi/4) q[0];\nrz(pi) q[0];\n";
+        let qc = from_qasm(text).unwrap();
+        let params: Vec<f64> = qc
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Gate { gate, .. } => Some(gate.params()[0]),
+                _ => None,
+            })
+            .collect();
+        assert!((params[0] - PI / 2.0).abs() < 1e-12);
+        assert!((params[1] + PI / 4.0).abs() < 1e-12);
+        assert!((params[2] - 3.0 * PI / 4.0).abs() < 1e-12);
+        assert!((params[3] - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_u1_u3_aliases() {
+        let text = "qreg q[1];\nu1(0.5) q[0];\nu3(0.1,0.2,0.3) q[0];\n";
+        let qc = from_qasm(text).unwrap();
+        assert_eq!(qc.gate_count(), 2);
+    }
+
+    #[test]
+    fn unknown_gate_reports_line() {
+        let text = "qreg q[1];\nfoo q[0];\n";
+        match from_qasm(text) {
+            Err(SimError::QasmParse { line, reason }) => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("foo"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_measure_rejected() {
+        let text = "qreg q[1];\ncreg c[1];\nmeasure q[3] -> c[0];\n";
+        assert!(from_qasm(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "// header comment\nOPENQASM 2.0;\n\nqreg q[2]; // inline\nh q[0]; cx q[0],q[1];\n";
+        let qc = from_qasm(text).unwrap();
+        assert_eq!(qc.gate_count(), 2);
+    }
+
+    #[test]
+    fn barrier_roundtrip() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).barrier(&[0, 1]).h(1);
+        let back = roundtrip(&qc);
+        assert_eq!(back.size(), 3);
+        assert!(matches!(back.ops()[1], Op::Barrier(_)));
+    }
+}

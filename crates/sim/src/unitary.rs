@@ -1,0 +1,137 @@
+//! Full-circuit unitary extraction.
+//!
+//! Builds the `2^n × 2^n` matrix a circuit implements by simulating each
+//! basis column. Exponentially sized — intended for verification (the
+//! transpiler's equivalence tests, gate-identity checks), not for
+//! simulation of large circuits.
+
+use crate::circuit::{Op, QuantumCircuit};
+use crate::error::SimError;
+use crate::statevector::Statevector;
+use qufi_math::{CMatrix, Complex};
+
+/// Hard cap: a 10-qubit unitary is already 1024×1024 complex entries.
+pub const MAX_UNITARY_QUBITS: usize = 10;
+
+/// Computes the unitary of the circuit's gate operations (barriers and
+/// measurements ignored).
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] beyond [`MAX_UNITARY_QUBITS`].
+///
+/// # Example
+///
+/// ```
+/// use qufi_sim::{unitary, QuantumCircuit};
+/// use qufi_math::CMatrix;
+///
+/// let mut qc = QuantumCircuit::new(1, 0);
+/// qc.h(0).h(0);
+/// let u = unitary::circuit_unitary(&qc).unwrap();
+/// assert!(u.approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+pub fn circuit_unitary(qc: &QuantumCircuit) -> Result<CMatrix, SimError> {
+    let n = qc.num_qubits();
+    if n > MAX_UNITARY_QUBITS {
+        return Err(SimError::TooManyQubits {
+            requested: n,
+            max: MAX_UNITARY_QUBITS,
+        });
+    }
+    let dim = 1usize << n;
+    let mut m = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[col] = Complex::ONE;
+        let mut sv = Statevector::from_amplitudes(amps);
+        for op in qc.instructions() {
+            if let Op::Gate { gate, qubits } = op {
+                sv.apply_gate(*gate, qubits);
+            }
+        }
+        for row in 0..dim {
+            m[(row, col)] = sv.amp(row);
+        }
+    }
+    Ok(m)
+}
+
+/// `true` when two circuits implement the same unitary up to global phase.
+///
+/// # Errors
+///
+/// Propagates width-limit errors; width mismatch returns `Ok(false)`.
+pub fn circuits_equivalent(a: &QuantumCircuit, b: &QuantumCircuit, tol: f64) -> Result<bool, SimError> {
+    if a.num_qubits() != b.num_qubits() {
+        return Ok(false);
+    }
+    let ua = circuit_unitary(a)?;
+    let ub = circuit_unitary(b)?;
+    Ok(ua.approx_eq_up_to_phase(&ub, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn bell_circuit_unitary_is_unitary() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cx(0, 1);
+        let u = circuit_unitary(&qc).unwrap();
+        assert!(u.is_unitary(1e-10));
+        // First column: (|00> + |11>)/√2.
+        assert!((u[(0, 0)].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((u[(3, 0)].norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_gate_matches_gate_matrix() {
+        for g in [Gate::H, Gate::T, Gate::Sx, Gate::U(0.3, 1.1, 2.0)] {
+            let mut qc = QuantumCircuit::new(1, 0);
+            qc.append(g, &[0]);
+            let u = circuit_unitary(&qc).unwrap();
+            assert!(u.approx_eq(&g.matrix(), 1e-12), "{g}");
+        }
+    }
+
+    #[test]
+    fn equivalence_detects_phase_only_difference() {
+        let mut a = QuantumCircuit::new(1, 0);
+        a.z(0);
+        let mut b = QuantumCircuit::new(1, 0);
+        b.rz(std::f64::consts::PI, 0);
+        // Z and RZ(π) differ by global phase — equivalent.
+        assert!(circuits_equivalent(&a, &b, 1e-10).unwrap());
+        let mut c = QuantumCircuit::new(1, 0);
+        c.x(0);
+        assert!(!circuits_equivalent(&a, &c, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn width_mismatch_is_not_equivalent() {
+        let a = QuantumCircuit::new(1, 0);
+        let b = QuantumCircuit::new(2, 0);
+        assert!(!circuits_equivalent(&a, &b, 1e-10).unwrap());
+    }
+
+    #[test]
+    fn width_limit_enforced() {
+        let qc = QuantumCircuit::new(MAX_UNITARY_QUBITS + 1, 0);
+        assert!(matches!(
+            circuit_unitary(&qc),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_circuit_gives_adjoint() {
+        let mut qc = QuantumCircuit::new(2, 0);
+        qc.h(0).cp(0.8, 0, 1).t(1);
+        let u = circuit_unitary(&qc).unwrap();
+        let inv = circuit_unitary(&qc.inverse()).unwrap();
+        assert!(inv.approx_eq(&u.adjoint(), 1e-10));
+    }
+}

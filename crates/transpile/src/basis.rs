@@ -1,0 +1,343 @@
+//! Basis translation to the IBM native gate set `{rz, sx, x, cx}`.
+//!
+//! On IBM hardware `rz` is a virtual frame change and `sx`/`x`/`cx` are the
+//! calibrated pulses; everything else must be rewritten. Single-qubit gates
+//! go through ZYZ decomposition (`U = e^{iα} RZ(φ)·RY(θ)·RZ(λ)` with
+//! `RY(θ) = RZ(−π/2)·SX·RZ(π−θ)·SX·RZ(−π/2)` folded in); two-qubit gates use
+//! the textbook CX-based identities; Toffoli uses the standard 6-CX network.
+
+use qufi_math::{decompose::normalize_angle, zyz_decompose, CMatrix};
+use qufi_sim::circuit::Op;
+use qufi_sim::{Gate, QuantumCircuit};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// `true` for gates the hardware executes natively.
+pub fn is_native(gate: Gate) -> bool {
+    matches!(gate, Gate::I | Gate::Rz(_) | Gate::Sx | Gate::X | Gate::Cx)
+}
+
+/// Decomposes an arbitrary single-qubit unitary into at most five native
+/// gates (`rz`, `sx`), up to global phase. Near-identity rotations are
+/// dropped entirely.
+pub fn decompose_1q_matrix(u: &CMatrix) -> Vec<Gate> {
+    let a = zyz_decompose(u);
+    let theta = a.theta;
+    let mut out = Vec::with_capacity(5);
+    let push_rz = |out: &mut Vec<Gate>, angle: f64| {
+        let angle = normalize_angle(angle);
+        if angle.abs() > 1e-9 {
+            out.push(Gate::Rz(angle));
+        }
+    };
+    if theta.abs() < 1e-9 {
+        // Pure phase rotation.
+        push_rz(&mut out, a.phi + a.lambda);
+    } else if (theta - FRAC_PI_2).abs() < 1e-9 {
+        // One sx suffices: U = RZ(φ+π/2)·SX·RZ(λ−π/2) up to phase.
+        push_rz(&mut out, a.lambda - FRAC_PI_2);
+        out.push(Gate::Sx);
+        push_rz(&mut out, a.phi + FRAC_PI_2);
+    } else {
+        // General case: U = RZ(φ+π)·SX·RZ(θ+π)·SX·RZ(λ) up to phase.
+        push_rz(&mut out, a.lambda);
+        out.push(Gate::Sx);
+        push_rz(&mut out, theta + PI);
+        out.push(Gate::Sx);
+        push_rz(&mut out, a.phi + PI);
+    }
+    out
+}
+
+/// Appends the native decomposition of `gate` on `qubits` to `out`.
+///
+/// # Panics
+///
+/// Panics on 3-qubit gates (run [`decompose_ccx`] first).
+fn translate_gate(out: &mut QuantumCircuit, gate: Gate, qubits: &[usize]) {
+    if is_native(gate) {
+        if !matches!(gate, Gate::I) {
+            out.append(gate, qubits);
+        }
+        return;
+    }
+    match gate {
+        // Diagonal single-qubit gates become a bare rz.
+        Gate::Z => {
+            out.rz(PI, qubits[0]);
+        }
+        Gate::S => {
+            out.rz(FRAC_PI_2, qubits[0]);
+        }
+        Gate::Sdg => {
+            out.rz(-FRAC_PI_2, qubits[0]);
+        }
+        Gate::T => {
+            out.rz(PI / 4.0, qubits[0]);
+        }
+        Gate::Tdg => {
+            out.rz(-PI / 4.0, qubits[0]);
+        }
+        Gate::P(l) | Gate::Rz(l) => {
+            out.rz(l, qubits[0]);
+        }
+        // Other 1q gates go through ZYZ.
+        g if g.num_qubits() == 1 => {
+            for native in decompose_1q_matrix(&g.matrix()) {
+                out.append(native, qubits);
+            }
+        }
+        // CZ = (I⊗H)·CX·(I⊗H) with H expanded natively.
+        Gate::Cz => {
+            let (c, t) = (qubits[0], qubits[1]);
+            for native in decompose_1q_matrix(&CMatrix::hadamard()) {
+                out.append(native, &[t]);
+            }
+            out.cx(c, t);
+            for native in decompose_1q_matrix(&CMatrix::hadamard()) {
+                out.append(native, &[t]);
+            }
+        }
+        // SWAP = 3 alternating CX.
+        Gate::Swap => {
+            let (a, b) = (qubits[0], qubits[1]);
+            out.cx(a, b).cx(b, a).cx(a, b);
+        }
+        // CP(λ) = RZ(λ/2)_c · CX · RZ(−λ/2)_t · CX · RZ(λ/2)_t (up to phase).
+        Gate::Cp(l) => {
+            let (c, t) = (qubits[0], qubits[1]);
+            out.rz(l / 2.0, c);
+            out.cx(c, t);
+            out.rz(-l / 2.0, t);
+            out.cx(c, t);
+            out.rz(l / 2.0, t);
+        }
+        Gate::Ccx => panic!("decompose_ccx must run before basis translation"),
+        _ => unreachable!("native gates handled above"),
+    }
+}
+
+/// Rewrites a circuit into the native basis. Barriers and measurements pass
+/// through; `id` gates are dropped.
+///
+/// # Panics
+///
+/// Panics if a Toffoli survives (run [`decompose_ccx`] first).
+pub fn translate_to_basis(qc: &QuantumCircuit) -> QuantumCircuit {
+    let mut out = QuantumCircuit::with_name(qc.num_qubits(), qc.num_clbits(), &qc.name);
+    for op in qc.instructions() {
+        match op {
+            Op::Gate { gate, qubits } => translate_gate(&mut out, *gate, qubits),
+            Op::Barrier(qs) => {
+                out.barrier(qs);
+            }
+            Op::Measure { qubit, clbit } => {
+                out.measure(*qubit, *clbit);
+            }
+        }
+    }
+    out
+}
+
+/// Replaces every Toffoli with the standard 6-CX + T network; other
+/// operations pass through unchanged.
+pub fn decompose_ccx(qc: &QuantumCircuit) -> QuantumCircuit {
+    let mut out = QuantumCircuit::with_name(qc.num_qubits(), qc.num_clbits(), &qc.name);
+    for op in qc.instructions() {
+        match op {
+            Op::Gate {
+                gate: Gate::Ccx,
+                qubits,
+            } => {
+                let (a, b, c) = (qubits[0], qubits[1], qubits[2]);
+                out.h(c)
+                    .cx(b, c)
+                    .tdg(c)
+                    .cx(a, c)
+                    .t(c)
+                    .cx(b, c)
+                    .tdg(c)
+                    .cx(a, c)
+                    .t(b)
+                    .t(c)
+                    .h(c)
+                    .cx(a, b)
+                    .t(a)
+                    .tdg(b)
+                    .cx(a, b);
+            }
+            Op::Gate { gate, qubits } => {
+                out.append(*gate, qubits);
+            }
+            Op::Barrier(qs) => {
+                out.barrier(qs);
+            }
+            Op::Measure { qubit, clbit } => {
+                out.measure(*qubit, *clbit);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_math::Complex;
+    use qufi_sim::Statevector;
+
+    /// Builds the full unitary of a circuit column by column via simulation.
+    fn circuit_unitary(qc: &QuantumCircuit) -> CMatrix {
+        let n = qc.num_qubits();
+        let dim = 1 << n;
+        let mut m = CMatrix::zeros(dim, dim);
+        for col in 0..dim {
+            let mut amps = vec![Complex::ZERO; dim];
+            amps[col] = Complex::ONE;
+            let mut sv = Statevector::from_amplitudes(amps);
+            for op in qc.instructions() {
+                if let Op::Gate { gate, qubits } = op {
+                    sv.apply_gate(*gate, qubits);
+                }
+            }
+            for row in 0..dim {
+                m[(row, col)] = sv.amp(row);
+            }
+        }
+        m
+    }
+
+    fn gates_matrix(gates: &[Gate]) -> CMatrix {
+        let mut m = CMatrix::identity(2);
+        for g in gates {
+            m = g.matrix().matmul(&m);
+        }
+        m
+    }
+
+    #[test]
+    fn decompose_1q_covers_named_gates() {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.9),
+            Gate::U(0.4, 2.2, 5.1),
+        ] {
+            let native = decompose_1q_matrix(&g.matrix());
+            assert!(native.len() <= 5, "{g} used {} gates", native.len());
+            assert!(
+                native.iter().all(|&x| is_native(x)),
+                "{g} produced non-native gates"
+            );
+            assert!(
+                gates_matrix(&native).approx_eq_up_to_phase(&g.matrix(), 1e-9),
+                "{g} decomposition wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_to_nothing() {
+        assert!(decompose_1q_matrix(&CMatrix::identity(2)).is_empty());
+    }
+
+    #[test]
+    fn u_gate_grid_decomposition() {
+        for i in 0..6 {
+            for j in 0..6 {
+                let g = Gate::U(PI * i as f64 / 5.0, 2.0 * PI * j as f64 / 6.0, 0.0);
+                let native = decompose_1q_matrix(&g.matrix());
+                assert!(gates_matrix(&native).approx_eq_up_to_phase(&g.matrix(), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn translate_preserves_two_qubit_semantics() {
+        for gate in [Gate::Cz, Gate::Swap, Gate::Cp(0.9), Gate::Cp(-2.3)] {
+            let mut qc = QuantumCircuit::new(2, 0);
+            qc.append(gate, &[0, 1]);
+            let native = translate_to_basis(&qc);
+            for op in native.instructions() {
+                if let Op::Gate { gate, .. } = op {
+                    assert!(is_native(*gate), "non-native {gate} survived");
+                }
+            }
+            assert!(
+                circuit_unitary(&native).approx_eq_up_to_phase(&circuit_unitary(&qc), 1e-9),
+                "{gate} translation wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn translate_full_circuit_matches_original() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0)
+            .t(1)
+            .cx(0, 1)
+            .cz(1, 2)
+            .swap(0, 2)
+            .cp(1.3, 0, 2)
+            .y(1)
+            .sdg(2)
+            .measure_all();
+        let native = translate_to_basis(&qc);
+        let a = Statevector::from_circuit(&qc)
+            .unwrap()
+            .measurement_distribution(&qc);
+        let b = Statevector::from_circuit(&native)
+            .unwrap()
+            .measurement_distribution(&native);
+        assert!(a.tv_distance(&b) < 1e-9);
+    }
+
+    #[test]
+    fn ccx_network_is_exact() {
+        let mut qc = QuantumCircuit::new(3, 0);
+        qc.ccx(0, 1, 2);
+        let decomposed = decompose_ccx(&qc);
+        assert!(
+            circuit_unitary(&decomposed).approx_eq_up_to_phase(&circuit_unitary(&qc), 1e-9)
+        );
+        // All remaining gates are 1- or 2-qubit.
+        for op in decomposed.instructions() {
+            if let Op::Gate { gate, .. } = op {
+                assert!(gate.num_qubits() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn id_gates_dropped() {
+        let mut qc = QuantumCircuit::new(1, 0);
+        qc.i(0).h(0).i(0);
+        let native = translate_to_basis(&qc);
+        assert!(native
+            .instructions()
+            .all(|op| !matches!(op, Op::Gate { gate: Gate::I, .. })));
+    }
+
+    #[test]
+    fn diagonal_gates_become_single_rz() {
+        for g in [Gate::Z, Gate::S, Gate::T, Gate::Tdg, Gate::P(0.8)] {
+            let mut qc = QuantumCircuit::new(1, 0);
+            qc.append(g, &[0]);
+            let native = translate_to_basis(&qc);
+            assert_eq!(native.gate_count(), 1, "{g}");
+            assert!(matches!(
+                native.ops()[0],
+                Op::Gate {
+                    gate: Gate::Rz(_),
+                    ..
+                }
+            ));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Transpilation errors.
+
+use core::fmt;
+
+/// Errors raised while mapping a circuit onto a device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranspileError {
+    /// The circuit needs more qubits than the device offers.
+    CircuitTooWide {
+        /// Logical qubits required.
+        needed: usize,
+        /// Physical qubits available.
+        available: usize,
+    },
+    /// The coupling graph is disconnected, so routing cannot reach some
+    /// qubit pairs.
+    DisconnectedTopology,
+    /// A gate survived decomposition that routing cannot handle.
+    UnroutableGate(String),
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspileError::CircuitTooWide { needed, available } => {
+                write!(f, "circuit needs {needed} qubits, device has {available}")
+            }
+            TranspileError::DisconnectedTopology => {
+                write!(f, "coupling map is disconnected")
+            }
+            TranspileError::UnroutableGate(name) => {
+                write!(f, "cannot route gate {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = TranspileError::CircuitTooWide {
+            needed: 9,
+            available: 7,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,52 @@
+//! Transpilation: mapping logical circuits onto physical devices.
+//!
+//! The QuFI paper transpiles every benchmark with Qiskit's
+//! `optimization_level=3` "in order to have the most dense layout and to
+//! reduce as much as possible the use of SWAP gates, which could change the
+//! ordering of qubits", and it "keeps track of the logical and physical
+//! qubits throughout the transpiling process, and tags the qubits that are
+//! neighbors after the transpiling process" (§IV-C). This crate implements
+//! that pipeline:
+//!
+//! 1. **decompose** — rewrite gates outside the routable set (Toffoli).
+//! 2. **layout** ([`layout`]) — choose an initial logical→physical map;
+//!    level 3 uses a dense connected-subgraph search.
+//! 3. **routing** ([`routing`]) — insert SWAPs so every 2-qubit gate acts on
+//!    coupled physical qubits, tracking the evolving layout.
+//! 4. **basis translation** ([`basis`]) — rewrite to the IBM native set
+//!    `{rz, sx, x, cx}` via ZYZ decomposition.
+//! 5. **optimization** ([`optimize`]) — cancel inverse pairs, merge
+//!    rotations, fuse single-qubit runs.
+//!
+//! The [`Transpiler`] entry point runs the pipeline at a chosen
+//! [`OptimizationLevel`] and returns a [`TranspileResult`] that exposes the
+//! final logical→physical map and the physical-neighbour query QuFI's
+//! double-fault injection needs.
+//!
+//! # Example
+//!
+//! ```
+//! use qufi_sim::QuantumCircuit;
+//! use qufi_transpile::{CouplingMap, OptimizationLevel, Transpiler};
+//!
+//! let mut qc = QuantumCircuit::new(3, 3);
+//! qc.h(0).cx(0, 2).measure_all(); // 0 and 2 are not coupled on a line
+//! let line = CouplingMap::line(3);
+//! let result = Transpiler::new(line, OptimizationLevel::Level3).run(&qc).unwrap();
+//! // The routed circuit is semantically equivalent and uses only coupled pairs.
+//! assert!(result.circuit().gate_count() > 0);
+//! ```
+
+pub mod basis;
+pub mod error;
+pub mod layout;
+pub mod optimize;
+pub mod routing;
+pub mod topology;
+pub mod transpiler;
+
+pub use error::TranspileError;
+pub use layout::Layout;
+pub use routing::RoutingStrategy;
+pub use topology::CouplingMap;
+pub use transpiler::{OptimizationLevel, TranspileResult, Transpiler};

@@ -1,0 +1,41 @@
+//! Circuit-reliability heatmap: a full single-fault campaign over the QFT
+//! and an ASCII rendering of the resulting (φ, θ) QVF map — the analysis of
+//! the paper's Fig. 5.
+//!
+//! Run with: `cargo run --release --example reliability_heatmap`
+
+use qufi::prelude::*;
+
+fn main() -> Result<(), ExecError> {
+    let w = qft_value_encoding(4, 0b1010);
+    let executor = NoisyExecutor::new(BackendCalibration::jakarta());
+    let golden = golden_outputs(&w.circuit)?;
+
+    // The paper's 312-configuration grid over every injection point.
+    let options = CampaignOptions::paper();
+    let result = run_single_campaign(&w.circuit, &golden, &executor, &options)?;
+
+    println!(
+        "{}: {} injections across {} fault sites",
+        w.name,
+        result.len(),
+        enumerate_injection_points(&w.circuit).len()
+    );
+    println!(
+        "mean QVF {:.4} (σ {:.4}), baseline (fault-free, noisy) {:.4}",
+        result.mean_qvf(),
+        result.stddev_qvf(),
+        result.baseline_qvf
+    );
+    let (masked, dubious, sdc) = result.severity_counts();
+    println!("masked {masked}, dubious {dubious}, SDC {sdc}");
+    println!(
+        "injections that improved on the baseline: {:.2}%",
+        100.0 * result.improved_fraction()
+    );
+
+    let heatmap = Heatmap::from_campaign(&result);
+    println!("\nQVF heatmap ('.' masked, 'o' dubious, '#' SDC):");
+    print!("{}", heatmap.ascii());
+    Ok(())
+}
