@@ -27,7 +27,10 @@ use qufi_sim::QuantumCircuit;
 /// ```
 pub fn bernstein_vazirani(secret: usize, n_bits: usize) -> Workload {
     assert!(n_bits > 0, "secret must have at least one bit");
-    assert!(secret < (1 << n_bits), "secret does not fit in {n_bits} bits");
+    assert!(
+        secret < (1 << n_bits),
+        "secret does not fit in {n_bits} bits"
+    );
     let n = n_bits + 1;
     let ancilla = n_bits;
     let mut qc = QuantumCircuit::with_name(n, n_bits, &format!("bv-{n}"));
@@ -108,7 +111,12 @@ mod tests {
     #[test]
     fn ancilla_is_not_measured() {
         let w = bernstein_vazirani(0b11, 2);
-        let measured: Vec<usize> = w.circuit.measurement_map().iter().map(|&(q, _)| q).collect();
+        let measured: Vec<usize> = w
+            .circuit
+            .measurement_map()
+            .iter()
+            .map(|&(q, _)| q)
+            .collect();
         assert!(!measured.contains(&2));
     }
 

@@ -89,7 +89,10 @@ mod tests {
         for oracle in [DjOracle::ConstantZero, DjOracle::ConstantOne] {
             for n in 1..=5 {
                 let w = deutsch_jozsa(n, oracle);
-                assert!((output_dist(&w).prob(0) - 1.0).abs() < 1e-9, "{oracle:?} n={n}");
+                assert!(
+                    (output_dist(&w).prob(0) - 1.0).abs() < 1e-9,
+                    "{oracle:?} n={n}"
+                );
             }
         }
     }

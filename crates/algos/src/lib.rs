@@ -28,6 +28,7 @@ pub mod grover;
 pub mod qec;
 pub mod qft;
 pub mod qpe;
+pub mod registry;
 pub mod workload;
 
 pub use bv::{alternating_secret, bernstein_vazirani};
@@ -37,4 +38,5 @@ pub use grover::grover;
 pub use qec::{bit_flip_code, phase_flip_code, CodeWorkload};
 pub use qft::{qft_circuit, qft_value_encoding};
 pub use qpe::quantum_phase_estimation;
+pub use registry::{build_workload, parse_workload_name, workload_names, UnknownWorkload};
 pub use workload::{paper_workloads, scaling_family, Workload};

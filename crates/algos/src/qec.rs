@@ -139,12 +139,7 @@ mod tests {
         let c = bit_flip_code(true);
         for q in 0..3 {
             // θ=π fault ≡ X (up to phase) inside the window.
-            let faulty = inject(
-                &c.workload.circuit,
-                c.region.end,
-                Gate::U(PI, 0.0, 0.0),
-                q,
-            );
+            let faulty = inject(&c.workload.circuit, c.region.end, Gate::U(PI, 0.0, 0.0), q);
             let p1 = run(&faulty);
             assert!(
                 (p1 - 1.0).abs() < 1e-9,
@@ -184,12 +179,7 @@ mod tests {
     fn phase_flip_code_masks_single_z_fault() {
         let c = phase_flip_code(true);
         for q in 0..3 {
-            let faulty = inject(
-                &c.workload.circuit,
-                c.region.end,
-                Gate::U(0.0, PI, 0.0),
-                q,
-            );
+            let faulty = inject(&c.workload.circuit, c.region.end, Gate::U(0.0, PI, 0.0), q);
             let p1 = run(&faulty);
             assert!(
                 (p1 - 1.0).abs() < 1e-9,

@@ -92,7 +92,12 @@ mod tests {
     #[test]
     fn eigenstate_qubit_is_not_measured() {
         let w = quantum_phase_estimation(3, 5);
-        let measured: Vec<usize> = w.circuit.measurement_map().iter().map(|&(q, _)| q).collect();
+        let measured: Vec<usize> = w
+            .circuit
+            .measurement_map()
+            .iter()
+            .map(|&(q, _)| q)
+            .collect();
         assert!(!measured.contains(&3));
         assert_eq!(w.circuit.num_clbits(), 3);
     }
@@ -102,7 +107,11 @@ mod tests {
         let w = quantum_phase_estimation(4, 7);
         let counts = w.circuit.gate_counts();
         // 4-qubit inverse QFT contributes 6 cp gates; controlled-U adds more.
-        let cp = counts.iter().find(|(g, _)| *g == "cp").map(|(_, c)| *c).unwrap_or(0);
+        let cp = counts
+            .iter()
+            .find(|(g, _)| *g == "cp")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         assert!(cp >= 6, "expected QFT cp gates, found {cp}");
     }
 

@@ -1,0 +1,216 @@
+//! Named workload registry: `"family-n"` strings → circuit builders.
+//!
+//! Campaign manifests (and anything else that configures workloads from
+//! text — CLIs, job specs, service requests) name circuits as
+//! `<family>-<total_qubits>`, e.g. `bv-4` or `ghz-5`, matching the
+//! `name` field the builders already stamp on their [`Workload`]s.
+
+use crate::workload::Workload;
+use core::fmt;
+
+/// One instantiable circuit family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyInfo {
+    /// Registry key prefix, e.g. `"bv"`.
+    pub family: &'static str,
+    /// Smallest supported total qubit count.
+    pub min_qubits: usize,
+    /// Largest supported total qubit count.
+    pub max_qubits: usize,
+    /// One-line description for `list` output.
+    pub summary: &'static str,
+}
+
+/// Widest circuit the registry will instantiate. Statevector simulation
+/// handles more, but campaign cost grows as gates × 312 × 4ⁿ under the
+/// density-matrix executors, so the registry draws the line where the
+/// paper's studies stop being interactive.
+pub const MAX_REGISTRY_QUBITS: usize = 12;
+
+const FAMILIES: &[FamilyInfo] = &[
+    FamilyInfo {
+        family: "bv",
+        min_qubits: 2,
+        max_qubits: MAX_REGISTRY_QUBITS,
+        summary: "Bernstein-Vazirani, alternating secret (paper benchmark)",
+    },
+    FamilyInfo {
+        family: "dj",
+        min_qubits: 2,
+        max_qubits: MAX_REGISTRY_QUBITS,
+        summary: "Deutsch-Jozsa, balanced oracle (paper benchmark)",
+    },
+    FamilyInfo {
+        family: "qft",
+        min_qubits: 2,
+        max_qubits: MAX_REGISTRY_QUBITS,
+        summary: "QFT value encoding, alternating value (paper benchmark)",
+    },
+    FamilyInfo {
+        family: "ghz",
+        min_qubits: 2,
+        max_qubits: MAX_REGISTRY_QUBITS,
+        summary: "GHZ state, two golden outputs (extension)",
+    },
+    FamilyInfo {
+        family: "grover",
+        min_qubits: 2,
+        max_qubits: 3,
+        summary: "Grover search, alternating marked state (extension)",
+    },
+    FamilyInfo {
+        family: "qpe",
+        min_qubits: 2,
+        max_qubits: MAX_REGISTRY_QUBITS,
+        summary: "Quantum Phase Estimation, exact phase (extension)",
+    },
+];
+
+/// The registered families.
+pub fn families() -> &'static [FamilyInfo] {
+    FAMILIES
+}
+
+/// A workload name the registry cannot satisfy, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The offending name.
+    pub name: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload {:?}: {}", self.name, self.reason)
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+fn err(name: &str, reason: impl Into<String>) -> UnknownWorkload {
+    UnknownWorkload {
+        name: name.to_owned(),
+        reason: reason.into(),
+    }
+}
+
+/// Splits `"family-n"` into the family info and total qubit count,
+/// validating the range.
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkload`] for malformed names, unknown families and
+/// out-of-range widths.
+pub fn parse_workload_name(name: &str) -> Result<(&'static FamilyInfo, usize), UnknownWorkload> {
+    let trimmed = name.trim();
+    let (family, num) = trimmed
+        .rsplit_once('-')
+        .ok_or_else(|| err(name, "expected <family>-<qubits>, e.g. \"bv-4\""))?;
+    let n: usize = num
+        .parse()
+        .map_err(|_| err(name, format!("qubit count {num:?} is not a number")))?;
+    let info = FAMILIES
+        .iter()
+        .find(|f| f.family == family)
+        .ok_or_else(|| {
+            let known: Vec<&str> = FAMILIES.iter().map(|f| f.family).collect();
+            err(name, format!("family {family:?} not in {known:?}"))
+        })?;
+    if n < info.min_qubits || n > info.max_qubits {
+        return Err(err(
+            name,
+            format!(
+                "{} supports {}..={} qubits, asked for {n}",
+                info.family, info.min_qubits, info.max_qubits
+            ),
+        ));
+    }
+    Ok((info, n))
+}
+
+/// Builds the named workload.
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkload`] when [`parse_workload_name`] does.
+pub fn build_workload(name: &str) -> Result<Workload, UnknownWorkload> {
+    let (info, n) = parse_workload_name(name)?;
+    Ok(match info.family {
+        "bv" => crate::bv::bernstein_vazirani(crate::bv::alternating_secret(n - 1), n - 1),
+        "dj" => crate::dj::deutsch_jozsa(n - 1, crate::dj::DjOracle::Balanced),
+        "qft" => crate::qft::qft_value_encoding(n, crate::bv::alternating_secret(n)),
+        "ghz" => crate::ghz::ghz(n),
+        "grover" => crate::grover::grover(n, crate::bv::alternating_secret(n)),
+        "qpe" => crate::qpe::quantum_phase_estimation(n - 1, crate::bv::alternating_secret(n - 1)),
+        other => unreachable!("family {other} registered but not buildable"),
+    })
+}
+
+/// Every valid registry name up to `max_qubits` total qubits — the
+/// catalogue behind `qufi list workloads`.
+pub fn workload_names(max_qubits: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for info in FAMILIES {
+        for n in info.min_qubits..=info.max_qubits.min(max_qubits) {
+            out.push(format!("{}-{n}", info.family));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalogued_name_builds_and_matches_its_key() {
+        for name in workload_names(5) {
+            let w = build_workload(&name).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(w.name, name, "registry key and workload name differ");
+            let n: usize = name.rsplit_once('-').unwrap().1.parse().unwrap();
+            assert_eq!(w.circuit.num_qubits(), n, "{name} width mismatch");
+        }
+    }
+
+    #[test]
+    fn paper_benchmarks_match_paper_workloads() {
+        let from_registry = build_workload("bv-4").unwrap();
+        let from_paper = &crate::workload::paper_workloads(4)[0];
+        assert_eq!(&from_registry, from_paper);
+    }
+
+    #[test]
+    fn malformed_names_are_rejected_with_reasons() {
+        assert!(build_workload("bv")
+            .unwrap_err()
+            .reason
+            .contains("expected"));
+        assert!(build_workload("bv-x")
+            .unwrap_err()
+            .reason
+            .contains("not a number"));
+        assert!(build_workload("nope-4")
+            .unwrap_err()
+            .reason
+            .contains("family"));
+        assert!(build_workload("grover-5")
+            .unwrap_err()
+            .reason
+            .contains("2..=3"));
+        assert!(build_workload("ghz-1").unwrap_err().reason.contains("2..="));
+    }
+
+    #[test]
+    fn names_trim_whitespace() {
+        assert!(build_workload(" ghz-3 ").is_ok());
+    }
+
+    #[test]
+    fn catalogue_respects_caller_cap() {
+        assert!(workload_names(4).iter().all(|n| {
+            let q: usize = n.rsplit_once('-').unwrap().1.parse().unwrap();
+            q <= 4
+        }));
+    }
+}

@@ -23,7 +23,10 @@ impl Workload {
     /// Panics if `correct_outputs` is empty or an index exceeds the
     /// classical register.
     pub fn new(circuit: QuantumCircuit, correct_outputs: Vec<usize>, name: &str) -> Self {
-        assert!(!correct_outputs.is_empty(), "need at least one golden state");
+        assert!(
+            !correct_outputs.is_empty(),
+            "need at least one golden state"
+        );
         let max = 1usize << circuit.num_clbits();
         for &o in &correct_outputs {
             assert!(o < max, "golden state {o} out of range");
@@ -99,11 +102,7 @@ mod tests {
                 let sv = Statevector::from_circuit(&w.circuit).unwrap();
                 let dist = sv.measurement_distribution(&w.circuit);
                 let p: f64 = w.correct_outputs.iter().map(|&o| dist.prob(o)).sum();
-                assert!(
-                    p > 0.999,
-                    "{}: golden probability only {p:.4}",
-                    w.name
-                );
+                assert!(p > 0.999, "{}: golden probability only {p:.4}", w.name);
             }
         }
     }

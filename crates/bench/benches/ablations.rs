@@ -12,9 +12,7 @@ use qufi_algos::bernstein_vazirani;
 use qufi_core::executor::{Executor, HardwareExecutor, NoisyExecutor};
 use qufi_noise::BackendCalibration;
 use qufi_sim::{DensityMatrix, Statevector};
-use qufi_transpile::{
-    CouplingMap, Layout, OptimizationLevel, RoutingStrategy, Transpiler,
-};
+use qufi_transpile::{CouplingMap, Layout, OptimizationLevel, RoutingStrategy, Transpiler};
 
 fn bench_exact_vs_shots(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl_exact_vs_shots");

@@ -4,8 +4,14 @@ use std::process::Command;
 
 fn main() {
     let coarse = qufi_bench::coarse_requested();
-    for fig in ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"] {
-        let mut cmd = Command::new(std::env::current_exe().expect("self path").with_file_name(fig));
+    for fig in [
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    ] {
+        let mut cmd = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(fig),
+        );
         if coarse {
             cmd.arg("--coarse");
         }

@@ -14,10 +14,17 @@ fn main() {
     qufi_bench::banner("Fig. 6 — per-qubit QVF heatmaps, QFT-4");
     let executor = default_executor();
     let (res, maps) = fig6_per_qubit(&grid, &executor);
-    println!("campaign: {} injections, mean QVF {:.4}", res.len(), res.mean_qvf());
+    println!(
+        "campaign: {} injections, mean QVF {:.4}",
+        res.len(),
+        res.mean_qvf()
+    );
 
     // The paper highlights the (φ=π, θ=π/4) square per qubit.
-    let ti = grid.thetas.iter().position(|&t| (t - PI / 4.0).abs() < 1e-9);
+    let ti = grid
+        .thetas
+        .iter()
+        .position(|&t| (t - PI / 4.0).abs() < 1e-9);
     let pi_idx = grid.phis.iter().position(|&p| (p - PI).abs() < 1e-9);
     for (q, hm) in &maps {
         println!("\nqubit #{q}: mean {:.4}", hm.mean());

@@ -2,9 +2,7 @@
 
 use qufi_algos::{paper_workloads, scaling_family, Workload};
 use qufi_core::campaign::{run_single_campaign, CampaignOptions, CampaignResult};
-use qufi_core::double::{
-    neighbor_pairs, run_double_campaign, DoubleCampaignResult, DoubleOptions,
-};
+use qufi_core::double::{neighbor_pairs, run_double_campaign, DoubleCampaignResult, DoubleOptions};
 use qufi_core::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
 use qufi_core::fault::{enumerate_injection_points, inject_fault, FaultGrid, FaultParams};
 use qufi_core::metrics::{mean, qvf_from_dist, stddev};
@@ -50,7 +48,10 @@ pub fn fig4_worked_example() -> String {
     }
     let qvf_clean = qvf_from_dist(&clean, &w.correct_outputs);
     let qvf_faulty = qvf_from_dist(&faulty, &w.correct_outputs);
-    let _ = writeln!(out, "QVF fault-free = {qvf_clean:.4}, faulty = {qvf_faulty:.4}");
+    let _ = writeln!(
+        out,
+        "QVF fault-free = {qvf_clean:.4}, faulty = {qvf_faulty:.4}"
+    );
     out
 }
 
@@ -130,9 +131,8 @@ pub fn fig7_scaling(
                         points: None,
                         threads: 0,
                     };
-                    let res =
-                        run_single_campaign(&w.circuit, &w.correct_outputs, executor, &opts)
-                            .expect("campaign");
+                    let res = run_single_campaign(&w.circuit, &w.correct_outputs, executor, &opts)
+                        .expect("campaign");
                     let qvfs = res.qvfs();
                     ScalingPoint {
                         qubits: w.circuit.num_qubits(),
@@ -247,8 +247,12 @@ pub fn fig11_hardware(seed: u64) -> Vec<Fig11Row> {
     let cal = BackendCalibration::jakarta();
     let hw = HardwareExecutor::new(cal.clone(), seed);
     let sim = NoisyExecutor::new(cal);
-    let shifts: [(&'static str, Gate); 4] =
-        [("t", Gate::T), ("s", Gate::S), ("z", Gate::Z), ("y", Gate::Y)];
+    let shifts: [(&'static str, Gate); 4] = [
+        ("t", Gate::T),
+        ("s", Gate::S),
+        ("z", Gate::Z),
+        ("y", Gate::Y),
+    ];
     shifts
         .into_iter()
         .map(|(name, gate)| {

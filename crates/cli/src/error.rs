@@ -1,0 +1,89 @@
+//! Error type shared by all orchestration layers.
+
+use core::fmt;
+use qufi_core::ExecError;
+use std::path::PathBuf;
+
+/// Anything that can abort a campaign run.
+#[derive(Debug)]
+pub enum CliError {
+    /// The manifest is syntactically or semantically invalid.
+    Manifest(String),
+    /// A filesystem operation failed.
+    Io {
+        /// What the CLI was doing.
+        context: String,
+        /// Path involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A checkpoint or metadata file is corrupt beyond salvage.
+    Checkpoint(String),
+    /// Circuit execution failed mid-campaign.
+    Exec(ExecError),
+    /// Command-line usage error.
+    Usage(String),
+}
+
+impl CliError {
+    /// A manifest-level failure.
+    pub fn manifest(msg: impl Into<String>) -> Self {
+        CliError::Manifest(msg.into())
+    }
+
+    /// A checkpoint-level failure.
+    pub fn checkpoint(msg: impl Into<String>) -> Self {
+        CliError::Checkpoint(msg.into())
+    }
+
+    /// A usage failure (prints with the subcommand help).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// Wraps an I/O failure with its path and context.
+    pub fn io(
+        context: impl Into<String>,
+        path: impl Into<PathBuf>,
+        source: std::io::Error,
+    ) -> Self {
+        CliError::Io {
+            context: context.into(),
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Manifest(msg) => write!(f, "manifest error: {msg}"),
+            CliError::Io {
+                context,
+                path,
+                source,
+            } => write!(f, "{context} {}: {source}", path.display()),
+            CliError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            CliError::Exec(e) => write!(f, "execution error: {e}"),
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for CliError {
+    fn from(e: ExecError) -> Self {
+        CliError::Exec(e)
+    }
+}

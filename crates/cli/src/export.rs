@@ -1,0 +1,355 @@
+//! Artifact export: turns checkpointed campaign state into the
+//! machine-readable results tree.
+//!
+//! ```text
+//! <out>/results/
+//!   summary.json            campaign-level rollup
+//!   summary.csv             one row per job
+//!   <job_id>/
+//!     records.csv           canonical (sorted, deduplicated) records
+//!     records.json          full campaign document (qufi_core::serialize)
+//!     heatmap.csv|.json     mean-QVF (φ, θ) lattice (paper Fig. 5)
+//!     qubit_ranking.csv|.json  per-qubit vulnerability (paper Fig. 6/§I)
+//! ```
+//!
+//! Everything derives from the checkpoint files, never from in-memory
+//! campaign state — so an interrupted-and-resumed campaign exports
+//! byte-identical artifacts to an uninterrupted one, and `qufi export`
+//! can regenerate results offline at any time.
+
+use crate::checkpoint::{CheckpointStore, JobMeta};
+use crate::error::CliError;
+use crate::job::job_matrix;
+use crate::manifest::Manifest;
+use qufi_core::mapping::qubit_reliability;
+use qufi_core::report::{records_to_csv, Heatmap};
+use qufi_core::serialize::{campaign_to_json, heatmap_to_json, json};
+use qufi_core::CampaignResult;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What an export pass produced.
+#[derive(Debug, Clone)]
+pub struct ExportReport {
+    /// Files written, in write order.
+    pub files: Vec<PathBuf>,
+    /// Jobs with full record coverage.
+    pub jobs_complete: usize,
+    /// Jobs exported from partial checkpoints (flagged in the summary).
+    pub jobs_partial: usize,
+    /// The human-facing completion table, rendered from the same loaded
+    /// state (so callers need not re-read the checkpoints to print it).
+    pub summary_table: String,
+}
+
+struct JobExport {
+    meta: JobMeta,
+    result: CampaignResult,
+    points_done: usize,
+}
+
+impl JobExport {
+    fn is_complete(&self) -> bool {
+        self.points_done >= self.meta.points_total
+    }
+}
+
+/// Exports the full results tree for `manifest`'s campaign from the
+/// checkpoints under `out_dir`.
+///
+/// # Errors
+///
+/// Missing/corrupt checkpoints and filesystem failures.
+pub fn export_artifacts(manifest: &Manifest, out_dir: &Path) -> Result<ExportReport, CliError> {
+    let store = CheckpointStore::open(out_dir)?;
+    let grid = manifest.grid.to_grid()?;
+    let results_dir = out_dir.join("results");
+    fs::create_dir_all(&results_dir)
+        .map_err(|e| CliError::io("creating results directory", &results_dir, e))?;
+
+    let mut jobs = Vec::new();
+    for spec in job_matrix(manifest) {
+        let id = spec.id();
+        let meta = store.load_meta(&id)?.ok_or_else(|| {
+            CliError::checkpoint(format!(
+                "job {id} has no checkpoint; run the campaign first"
+            ))
+        })?;
+        let records = store.load_records(&id)?;
+        // Canonicalize through merge_records: deduplicate replayed
+        // shards and restore (point, φ, θ) order.
+        let mut result = CampaignResult::from_parts(
+            meta.circuit.clone(),
+            meta.golden.clone(),
+            meta.baseline_qvf,
+            grid.clone(),
+            Vec::new(),
+        );
+        result.merge_records(records);
+        let points_done = result.len() / grid.len().max(1);
+        jobs.push(JobExport {
+            meta,
+            result,
+            points_done,
+        });
+    }
+
+    let mut files = Vec::new();
+    for job in &jobs {
+        let dir = results_dir.join(&job.meta.id);
+        fs::create_dir_all(&dir).map_err(|e| CliError::io("creating job directory", &dir, e))?;
+        write(
+            &mut files,
+            dir.join("records.csv"),
+            records_to_csv(&job.result.records),
+        )?;
+        write(
+            &mut files,
+            dir.join("records.json"),
+            campaign_to_json(&job.result),
+        )?;
+        let heatmap = Heatmap::from_campaign(&job.result);
+        write(&mut files, dir.join("heatmap.csv"), heatmap.to_csv())?;
+        write(
+            &mut files,
+            dir.join("heatmap.json"),
+            heatmap_to_json(&heatmap),
+        )?;
+        write(
+            &mut files,
+            dir.join("qubit_ranking.csv"),
+            ranking_csv(&job.result),
+        )?;
+        write(
+            &mut files,
+            dir.join("qubit_ranking.json"),
+            ranking_json(&job.result),
+        )?;
+    }
+    write(
+        &mut files,
+        results_dir.join("summary.csv"),
+        summary_csv(manifest, &jobs),
+    )?;
+    write(
+        &mut files,
+        results_dir.join("summary.json"),
+        summary_json(manifest, &jobs),
+    )?;
+
+    let jobs_complete = jobs.iter().filter(|j| j.is_complete()).count();
+    Ok(ExportReport {
+        files,
+        jobs_complete,
+        jobs_partial: jobs.len() - jobs_complete,
+        summary_table: render_summary_table(&jobs),
+    })
+}
+
+fn write(files: &mut Vec<PathBuf>, path: PathBuf, contents: String) -> Result<(), CliError> {
+    fs::write(&path, contents).map_err(|e| CliError::io("writing artifact", &path, e))?;
+    files.push(path);
+    Ok(())
+}
+
+fn ranking_csv(result: &CampaignResult) -> String {
+    let mut out = String::from("qubit,mean_qvf,sdc_fraction,samples\n");
+    for r in qubit_reliability(result) {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{}",
+            r.qubit, r.mean_qvf, r.sdc_fraction, r.samples
+        );
+    }
+    out
+}
+
+fn ranking_json(result: &CampaignResult) -> String {
+    json::array(qubit_reliability(result).into_iter().map(|r| {
+        format!(
+            "{{\"qubit\":{},\"mean_qvf\":{},\"sdc_fraction\":{},\"samples\":{}}}",
+            r.qubit,
+            json::num(r.mean_qvf),
+            json::num(r.sdc_fraction),
+            r.samples
+        )
+    }))
+}
+
+fn summary_csv(manifest: &Manifest, jobs: &[JobExport]) -> String {
+    let mut out = String::from(
+        "job,workload,backend,scale,executor,points_done,points_total,records,\
+         baseline_qvf,mean_qvf,stddev_qvf,masked,dubious,sdc,improved_fraction,complete\n",
+    );
+    for job in jobs {
+        let (masked, dubious, sdc) = job.result.severity_counts();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{masked},{dubious},{sdc},{:.6},{}",
+            job.meta.id,
+            job.meta.workload,
+            job.meta.backend,
+            job.meta.scale,
+            manifest.executor.keyword(),
+            job.points_done,
+            job.meta.points_total,
+            job.result.len(),
+            job.meta.baseline_qvf,
+            job.result.mean_qvf(),
+            job.result.stddev_qvf(),
+            job.result.improved_fraction(),
+            job.is_complete(),
+        );
+    }
+    out
+}
+
+fn summary_json(manifest: &Manifest, jobs: &[JobExport]) -> String {
+    let rendered = jobs.iter().map(|job| {
+        let (masked, dubious, sdc) = job.result.severity_counts();
+        format!(
+            "{{\"job\":{},\"workload\":{},\"backend\":{},\"scale\":{},\
+             \"points_done\":{},\"points_total\":{},\"records\":{},\
+             \"baseline_qvf\":{},\"mean_qvf\":{},\"stddev_qvf\":{},\
+             \"severity\":{{\"masked\":{masked},\"dubious\":{dubious},\"sdc\":{sdc}}},\
+             \"improved_fraction\":{},\"complete\":{}}}",
+            json::string(&job.meta.id),
+            json::string(&job.meta.workload),
+            json::string(&job.meta.backend),
+            json::num(job.meta.scale),
+            job.points_done,
+            job.meta.points_total,
+            job.result.len(),
+            json::num(job.meta.baseline_qvf),
+            json::num(job.result.mean_qvf()),
+            json::num(job.result.stddev_qvf()),
+            json::num(job.result.improved_fraction()),
+            job.is_complete(),
+        )
+    });
+    format!(
+        "{{\"campaign\":{},\"executor\":{},\"seed\":{},\"grid_size\":{},\"jobs\":{}}}",
+        json::string(&manifest.name),
+        json::string(manifest.executor.keyword()),
+        manifest.seed,
+        manifest.grid.to_grid().map(|g| g.len()).unwrap_or_default(),
+        json::array(rendered),
+    )
+}
+
+/// Renders the human-facing completion table printed after `qufi run`.
+fn render_summary_table(jobs: &[JobExport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "job", "records", "baseline", "mean_qvf", "masked", "dubious", "sdc"
+    );
+    for job in jobs {
+        let (masked, dubious, sdc) = job.result.severity_counts();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>9.4} {:>9.4} {:>8} {:>8} {:>8}{}",
+            job.meta.id,
+            job.result.len(),
+            job.meta.baseline_qvf,
+            job.result.mean_qvf(),
+            masked,
+            dubious,
+            sdc,
+            if job.is_complete() { "" } else { "  (partial)" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_campaign, RunOptions};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qufi-export-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_manifest() -> Manifest {
+        Manifest::from_toml(
+            "[campaign]\nname = \"t\"\nthreads = 2\nexecutor = \"noisy\"\n\
+             workloads = [\"bv-3\"]\nbackends = [\"lima\"]\n\
+             [grid]\nthetas = [0.0, 3.141592653589793]\nphis = [0.0]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_results_tree_is_written() {
+        let dir = temp_dir("tree");
+        let m = small_manifest();
+        run_campaign(
+            &m,
+            &dir,
+            &RunOptions {
+                quiet: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let report = export_artifacts(&m, &dir).unwrap();
+        assert_eq!(report.jobs_complete, 1);
+        assert_eq!(report.jobs_partial, 0);
+        for name in [
+            "results/bv-3@lima/records.csv",
+            "results/bv-3@lima/records.json",
+            "results/bv-3@lima/heatmap.csv",
+            "results/bv-3@lima/heatmap.json",
+            "results/bv-3@lima/qubit_ranking.csv",
+            "results/bv-3@lima/qubit_ranking.json",
+            "results/summary.csv",
+            "results/summary.json",
+        ] {
+            assert!(dir.join(name).is_file(), "missing {name}");
+        }
+        let summary = fs::read_to_string(dir.join("results/summary.json")).unwrap();
+        assert!(summary.contains("\"complete\":true"));
+        assert!(summary.contains("\"campaign\":\"t\""));
+        assert!(report.summary_table.contains("bv-3@lima"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn export_without_checkpoints_is_an_error() {
+        let dir = temp_dir("empty");
+        let err = export_artifacts(&small_manifest(), &dir).unwrap_err();
+        assert!(err.to_string().contains("no checkpoint"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn partial_campaigns_export_with_flag() {
+        let dir = temp_dir("partial");
+        let m = small_manifest();
+        run_campaign(
+            &m,
+            &dir,
+            &RunOptions {
+                quiet: true,
+                point_budget: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let report = export_artifacts(&m, &dir).unwrap();
+        assert_eq!(report.jobs_partial, 1);
+        let summary = fs::read_to_string(dir.join("results/summary.json")).unwrap();
+        assert!(summary.contains("\"complete\":false"));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

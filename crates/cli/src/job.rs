@@ -1,0 +1,301 @@
+//! The campaign job matrix: one job per (workload × backend ×
+//! noise-scale) cell, each sweeping the full fault grid over every
+//! injection point of its circuit.
+//!
+//! Jobs are the checkpointing unit; injection points are the scheduling
+//! unit. Hardware-scenario randomness is derived per *point* from the
+//! campaign seed and the job/point identity, so results are
+//! bit-reproducible no matter how the thread pool interleaves work or
+//! how often a campaign is interrupted and resumed.
+
+use crate::error::CliError;
+use crate::manifest::{ExecutorKind, Manifest};
+use qufi_core::campaign::{golden_outputs, run_point_sweep};
+use qufi_core::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
+use qufi_core::fault::{enumerate_injection_points, FaultGrid, InjectionPoint};
+use qufi_core::{ExecError, InjectionRecord};
+use qufi_noise::BackendCalibration;
+use qufi_sim::QuantumCircuit;
+
+/// Identity of one job in the campaign matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Workload registry name (`"bv-4"`).
+    pub workload: String,
+    /// Backend name, or `"logical"` for backend-less ideal campaigns.
+    pub backend: String,
+    /// Noise scale applied to the backend calibration.
+    pub scale: f64,
+}
+
+impl JobSpec {
+    /// The job's stable identifier — used for checkpoint and artifact
+    /// file names, so it is restricted to filesystem-safe characters.
+    pub fn id(&self) -> String {
+        if (self.scale - 1.0).abs() < f64::EPSILON {
+            format!("{}@{}", self.workload, self.backend)
+        } else {
+            format!("{}@{}@x{}", self.workload, self.backend, self.scale)
+        }
+    }
+}
+
+/// Placeholder backend name for ideal (backend-less) campaigns.
+pub const LOGICAL_BACKEND: &str = "logical";
+
+/// Enumerates the campaign's job matrix in manifest order — the
+/// canonical job numbering that progress reporting and artifact
+/// directories follow.
+pub fn job_matrix(manifest: &Manifest) -> Vec<JobSpec> {
+    let backends: Vec<String> = if manifest.backends.is_empty() {
+        vec![LOGICAL_BACKEND.to_string()]
+    } else {
+        manifest.backends.clone()
+    };
+    let mut jobs = Vec::new();
+    for workload in &manifest.workloads {
+        for backend in &backends {
+            for &scale in &manifest.noise_scales {
+                jobs.push(JobSpec {
+                    workload: workload.clone(),
+                    backend: backend.clone(),
+                    scale,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// How a job executes circuits. Ideal and noisy executors are
+/// deterministic and shared across the job's points; the hardware
+/// scenario rebuilds its executor per point from a derived seed so the
+/// drift/shot streams do not depend on scheduling order.
+pub enum JobExecutor {
+    /// Shared noiseless executor.
+    Ideal(IdealExecutor),
+    /// Shared density-matrix executor.
+    Noisy(NoisyExecutor),
+    /// Per-point hardware executors (calibration kept for rebuilding).
+    Hardware {
+        /// Scaled calibration the per-point executors start from.
+        calibration: BackendCalibration,
+        /// Shots per execution.
+        shots: u64,
+        /// Calibration drift σ.
+        drift: f64,
+        /// Campaign master seed.
+        campaign_seed: u64,
+        /// This job's id (folded into per-point seeds).
+        job_id: String,
+    },
+}
+
+/// A job bound to its circuit, golden outputs and executor — everything
+/// needed to run injection points.
+pub struct JobRuntime {
+    /// The job's identity.
+    pub spec: JobSpec,
+    /// The workload circuit.
+    pub circuit: QuantumCircuit,
+    /// Golden outcome indices.
+    pub golden: Vec<usize>,
+    /// QVF of the fault-free execution under this job's executor.
+    pub baseline_qvf: f64,
+    /// All injection points of the circuit, in enumeration order.
+    pub points: Vec<InjectionPoint>,
+    executor: JobExecutor,
+}
+
+/// FNV-1a over the campaign seed and a point identity — the per-point
+/// seed for hardware-scenario executors.
+fn derive_seed(campaign_seed: u64, job_id: &str, op_index: usize, qubit: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(&campaign_seed.to_le_bytes());
+    mix(job_id.as_bytes());
+    mix(&(op_index as u64).to_le_bytes());
+    mix(&(qubit as u64).to_le_bytes());
+    h
+}
+
+/// Sentinel point identity for a job's fault-free baseline execution.
+const BASELINE_POINT: (usize, usize) = (usize::MAX, usize::MAX);
+
+impl JobRuntime {
+    /// Builds the runtime for one job: resolves the workload and
+    /// backend, constructs the executor, and measures golden outputs
+    /// and the fault-free baseline QVF.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names (normally caught by manifest validation) and
+    /// execution failures of the fault-free circuit.
+    pub fn prepare(manifest: &Manifest, spec: &JobSpec) -> Result<Self, CliError> {
+        let workload = qufi_algos::build_workload(&spec.workload)
+            .map_err(|e| CliError::manifest(e.to_string()))?;
+        let executor = match manifest.executor {
+            ExecutorKind::Ideal => JobExecutor::Ideal(IdealExecutor),
+            ExecutorKind::Noisy => {
+                JobExecutor::Noisy(NoisyExecutor::new(scaled_calibration(spec)?))
+            }
+            ExecutorKind::Hardware => JobExecutor::Hardware {
+                calibration: scaled_calibration(spec)?,
+                shots: manifest.shots,
+                drift: manifest.drift,
+                campaign_seed: manifest.seed,
+                job_id: spec.id(),
+            },
+        };
+        let golden = golden_outputs(&workload.circuit)?;
+        let baseline_qvf = {
+            let dist = match &executor {
+                JobExecutor::Ideal(ex) => ex.execute(&workload.circuit)?,
+                JobExecutor::Noisy(ex) => ex.execute(&workload.circuit)?,
+                JobExecutor::Hardware { .. } => executor
+                    .hardware_for_point(BASELINE_POINT.0, BASELINE_POINT.1)
+                    .expect("hardware variant")
+                    .execute(&workload.circuit)?,
+            };
+            qufi_core::metrics::qvf_from_dist(&dist, &golden)
+        };
+        let points = enumerate_injection_points(&workload.circuit);
+        Ok(JobRuntime {
+            spec: spec.clone(),
+            circuit: workload.circuit,
+            golden,
+            baseline_qvf,
+            points,
+            executor,
+        })
+    }
+
+    /// Runs the full grid at one injection point — the scheduling unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution failure.
+    pub fn run_point(
+        &self,
+        point: InjectionPoint,
+        grid: &FaultGrid,
+    ) -> Result<Vec<InjectionRecord>, ExecError> {
+        match &self.executor {
+            JobExecutor::Ideal(ex) => run_point_sweep(&self.circuit, &self.golden, ex, point, grid),
+            JobExecutor::Noisy(ex) => run_point_sweep(&self.circuit, &self.golden, ex, point, grid),
+            JobExecutor::Hardware { .. } => {
+                let ex = self
+                    .executor
+                    .hardware_for_point(point.op_index, point.qubit)
+                    .expect("hardware variant");
+                run_point_sweep(&self.circuit, &self.golden, &ex, point, grid)
+            }
+        }
+    }
+}
+
+impl JobExecutor {
+    fn hardware_for_point(&self, op_index: usize, qubit: usize) -> Option<HardwareExecutor> {
+        match self {
+            JobExecutor::Hardware {
+                calibration,
+                shots,
+                drift,
+                campaign_seed,
+                job_id,
+            } => Some(HardwareExecutor::with_config(
+                calibration.clone(),
+                derive_seed(*campaign_seed, job_id, op_index, qubit),
+                *shots,
+                *drift,
+            )),
+            _ => None,
+        }
+    }
+}
+
+fn scaled_calibration(spec: &JobSpec) -> Result<BackendCalibration, CliError> {
+    let cal = BackendCalibration::named(&spec.backend)
+        .ok_or_else(|| CliError::manifest(format!("unknown backend {:?}", spec.backend)))?;
+    Ok(if (spec.scale - 1.0).abs() < f64::EPSILON {
+        cal
+    } else {
+        cal.scaled(spec.scale)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+
+    fn manifest(executor: &str) -> Manifest {
+        Manifest::from_toml(&format!(
+            "[campaign]\nname = \"t\"\nseed = 9\nexecutor = \"{executor}\"\n\
+             workloads = [\"bv-3\", \"ghz-3\"]\nbackends = [\"lima\", \"jakarta\"]\n\
+             noise_scales = [1.0, 2.0]\n[grid]\npreset = \"coarse\"\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_is_workload_major_and_ids_are_stable() {
+        let jobs = job_matrix(&manifest("noisy"));
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        assert_eq!(jobs[0].id(), "bv-3@lima");
+        assert_eq!(jobs[1].id(), "bv-3@lima@x2");
+        assert_eq!(jobs[2].id(), "bv-3@jakarta");
+        assert_eq!(jobs[7].id(), "ghz-3@jakarta@x2");
+    }
+
+    #[test]
+    fn ideal_manifest_without_backends_gets_logical_job() {
+        let m = Manifest::from_toml("[campaign]\nexecutor = \"ideal\"\nworkloads = [\"bv-3\"]\n")
+            .unwrap();
+        let jobs = job_matrix(&m);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id(), "bv-3@logical");
+    }
+
+    #[test]
+    fn prepare_measures_golden_and_baseline() {
+        let m = manifest("noisy");
+        let rt = JobRuntime::prepare(&m, &job_matrix(&m)[0]).unwrap();
+        assert_eq!(rt.golden, vec![0b10]); // alternating secret "10"
+        assert!(rt.baseline_qvf > 0.0 && rt.baseline_qvf < 0.45);
+        assert!(!rt.points.is_empty());
+    }
+
+    #[test]
+    fn hardware_points_are_reproducible_and_independent() {
+        let m = manifest("hardware");
+        let jobs = job_matrix(&m);
+        let rt = JobRuntime::prepare(&m, &jobs[0]).unwrap();
+        let grid = FaultGrid::custom(vec![0.0, 1.0], vec![0.0]);
+        let p0 = rt.points[0];
+        let p1 = rt.points[1];
+        // Same point twice → identical records (order-independence).
+        let a = rt.run_point(p1, &grid).unwrap();
+        let _ = rt.run_point(p0, &grid).unwrap();
+        let b = rt.run_point(p1, &grid).unwrap();
+        assert_eq!(a, b);
+        // A fresh runtime reproduces them too.
+        let rt2 = JobRuntime::prepare(&m, &jobs[0]).unwrap();
+        assert_eq!(rt2.run_point(p1, &grid).unwrap(), a);
+        assert_eq!(rt2.baseline_qvf, rt.baseline_qvf);
+    }
+
+    #[test]
+    fn scale_changes_the_noise_floor() {
+        let m = manifest("noisy");
+        let jobs = job_matrix(&m);
+        let nominal = JobRuntime::prepare(&m, &jobs[0]).unwrap();
+        let doubled = JobRuntime::prepare(&m, &jobs[1]).unwrap();
+        assert!(doubled.baseline_qvf > nominal.baseline_qvf);
+    }
+}

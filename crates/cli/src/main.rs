@@ -1,0 +1,234 @@
+//! `qufi` — campaign orchestration for the QuFI fault injector.
+//!
+//! ```text
+//! qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet]
+//! qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet]
+//! qufi export <campaign-dir>
+//! qufi list {workloads|backends|grids}
+//! ```
+//!
+//! Exit codes: `0` success / campaign complete, `2` budget expired
+//! (resume to continue), `1` any error.
+
+use qufi_cli::{
+    default_out_dir, export_artifacts, load_stored_manifest, resume, run_to_completion, CliError,
+    GridSpec, Manifest, RunOptions, RunStatus,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qufi — QuFI campaign orchestration
+
+USAGE:
+    qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet]
+    qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet]
+    qufi export <campaign-dir>
+    qufi list {workloads|backends|grids}
+
+COMMANDS:
+    run      Execute a campaign manifest; checkpoints land in the output
+             directory, artifacts in <out>/results.
+    resume   Continue an interrupted campaign from its checkpoints.
+    export   Regenerate <dir>/results from checkpoints, without running.
+    list     Show the registered workloads, backends, or grid presets.
+
+OPTIONS:
+    --out DIR      Output directory (default: qufi-runs/<campaign name>)
+    --threads N    Override the manifest's worker-thread count
+    --budget N     Stop after N injection points (graceful; resume later)
+    --quiet        Suppress progress reporting on stderr
+";
+
+fn main() -> ExitCode {
+    match dispatch(std::env::args().skip(1).collect()) {
+        Ok(status) => status,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let mut args = args.into_iter();
+    let command = args.next().unwrap_or_else(|| "help".to_string());
+    match command.as_str() {
+        "run" => cmd_run(args.collect()),
+        "resume" => cmd_resume(args.collect()),
+        "export" => cmd_export(args.collect()),
+        "list" => cmd_list(args.collect()),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+struct CommonFlags {
+    positional: Vec<String>,
+    out: Option<PathBuf>,
+    opts: RunOptions,
+}
+
+fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
+    let mut flags = CommonFlags {
+        positional: Vec::new(),
+        out: None,
+        opts: RunOptions::default(),
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => flags.out = Some(PathBuf::from(take_value(&mut iter, "--out")?)),
+            "--threads" => {
+                flags.opts.threads = Some(parse_number(&take_value(&mut iter, "--threads")?)?)
+            }
+            "--budget" => {
+                flags.opts.point_budget = Some(parse_number(&take_value(&mut iter, "--budget")?)?)
+            }
+            "--quiet" | "-q" => flags.opts.quiet = true,
+            a if a.starts_with("--") => return Err(CliError::usage(format!("unknown flag {a:?}"))),
+            _ => flags.positional.push(arg),
+        }
+    }
+    Ok(flags)
+}
+
+fn take_value(iter: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
+    iter.next()
+        .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+}
+
+fn parse_number(text: &str) -> Result<usize, CliError> {
+    text.parse()
+        .map_err(|_| CliError::usage(format!("{text:?} is not a number")))
+}
+
+fn finish(outcome: qufi_cli::CampaignOutcome, out_dir: &Path, quiet: bool) -> ExitCode {
+    if !quiet {
+        println!(
+            "artifacts: {} files under {}",
+            outcome.export.files.len(),
+            out_dir.join("results").display()
+        );
+    }
+    match outcome.summary.status {
+        RunStatus::Complete => ExitCode::SUCCESS,
+        RunStatus::Interrupted => {
+            eprintln!(
+                "budget expired after {} points; continue with: qufi resume {}",
+                outcome.summary.points_run,
+                out_dir.display()
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_run(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let flags = parse_flags(args)?;
+    let [manifest_path] = &flags.positional[..] else {
+        return Err(CliError::usage("run takes exactly one manifest path"));
+    };
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| CliError::io("reading manifest", manifest_path, e))?;
+    let manifest = Manifest::from_toml(&text)?;
+    let out_dir = flags.out.unwrap_or_else(|| default_out_dir(&manifest));
+    let outcome = run_to_completion(&manifest, &out_dir, &flags.opts)?;
+    if !flags.opts.quiet {
+        print!("{}", outcome.export.summary_table);
+    }
+    Ok(finish(outcome, &out_dir, flags.opts.quiet))
+}
+
+fn cmd_resume(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let flags = parse_flags(args)?;
+    let [dir] = &flags.positional[..] else {
+        return Err(CliError::usage(
+            "resume takes exactly one campaign directory",
+        ));
+    };
+    let out_dir = PathBuf::from(dir);
+    let outcome = resume(&out_dir, &flags.opts)?;
+    if !flags.opts.quiet {
+        print!("{}", outcome.export.summary_table);
+    }
+    Ok(finish(outcome, &out_dir, flags.opts.quiet))
+}
+
+fn cmd_export(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let flags = parse_flags(args)?;
+    let [dir] = &flags.positional[..] else {
+        return Err(CliError::usage(
+            "export takes exactly one campaign directory",
+        ));
+    };
+    let out_dir = PathBuf::from(dir);
+    let manifest = load_stored_manifest(&out_dir)?;
+    let report = export_artifacts(&manifest, &out_dir)?;
+    println!(
+        "exported {} files ({} complete jobs, {} partial) under {}",
+        report.files.len(),
+        report.jobs_complete,
+        report.jobs_partial,
+        out_dir.join("results").display()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_list(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let flags = parse_flags(args)?;
+    let [what] = &flags.positional[..] else {
+        return Err(CliError::usage(
+            "list takes one of: workloads, backends, grids",
+        ));
+    };
+    match what.as_str() {
+        "workloads" => {
+            println!("workload families (instantiate as <family>-<qubits>):");
+            for info in qufi_algos::registry::families() {
+                println!(
+                    "  {:<8} {}..={} qubits  {}",
+                    info.family, info.min_qubits, info.max_qubits, info.summary
+                );
+            }
+        }
+        "backends" => {
+            println!("backend calibrations:");
+            for &name in qufi_noise::BackendCalibration::builtin_names() {
+                let cal = qufi_noise::BackendCalibration::named(name).expect("builtin");
+                println!(
+                    "  {:<12} {} qubits, {} coupled pairs ({})",
+                    name,
+                    cal.num_qubits(),
+                    cal.coupling().len(),
+                    cal.name
+                );
+            }
+        }
+        "grids" => {
+            println!("grid presets:");
+            for &preset in GridSpec::PRESETS {
+                let grid = GridSpec::Preset(preset.to_string()).to_grid()?;
+                println!(
+                    "  {:<15} {} θ × {} φ = {} configurations per injection point",
+                    preset,
+                    grid.thetas.len(),
+                    grid.phis.len(),
+                    grid.len()
+                );
+            }
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "cannot list {other:?}; try workloads, backends, or grids"
+            )))
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

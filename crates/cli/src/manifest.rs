@@ -1,0 +1,575 @@
+//! Run manifests: the declarative description of a fault-injection
+//! campaign — which workloads, on which backends, under which executor
+//! scenario, across which fault grid and noise scales, with what thread
+//! budget and seed.
+//!
+//! ```toml
+//! [campaign]
+//! name = "smoke"
+//! seed = 42
+//! threads = 0                     # 0 = all cores
+//! executor = "noisy"              # ideal | noisy | hardware
+//! workloads = ["bv-4", "dj-4"]    # qufi_algos::registry names
+//! backends = ["jakarta", "lima"]  # qufi_noise calibrations
+//! noise_scales = [1.0]            # optional, per-backend scale sweep
+//!
+//! [grid]
+//! preset = "paper"                # paper | paper-half-phi | coarse
+//! # …or explicit axes:
+//! # thetas = [0.0, 1.5707963267948966]
+//! # phis = [0.0]
+//! ```
+
+use crate::error::CliError;
+use crate::toml::{self, Document, Table, Value};
+use qufi_core::fault::FaultGrid;
+use std::fmt::Write as _;
+
+/// Which §IV-B execution scenario a campaign runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Noiseless statevector simulation (golden-model studies).
+    Ideal,
+    /// Density-matrix simulation under a device calibration.
+    Noisy,
+    /// Noisy simulation plus calibration drift and finite-shot sampling.
+    Hardware,
+}
+
+impl ExecutorKind {
+    /// The manifest keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ExecutorKind::Ideal => "ideal",
+            ExecutorKind::Noisy => "noisy",
+            ExecutorKind::Hardware => "hardware",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "ideal" => Ok(ExecutorKind::Ideal),
+            "noisy" => Ok(ExecutorKind::Noisy),
+            "hardware" => Ok(ExecutorKind::Hardware),
+            other => Err(CliError::manifest(format!(
+                "executor must be ideal|noisy|hardware, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The fault grid, either by preset name or explicit axes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridSpec {
+    /// A named preset (`paper`, `paper-half-phi`, `coarse`).
+    Preset(String),
+    /// Explicit θ/φ axes in radians.
+    Custom {
+        /// θ values.
+        thetas: Vec<f64>,
+        /// φ values.
+        phis: Vec<f64>,
+    },
+}
+
+impl GridSpec {
+    /// The preset names [`GridSpec::to_grid`] resolves.
+    pub const PRESETS: &'static [&'static str] = &["paper", "paper-half-phi", "coarse"];
+
+    /// Materializes the grid.
+    ///
+    /// # Errors
+    ///
+    /// Unknown preset names and empty custom axes.
+    pub fn to_grid(&self) -> Result<FaultGrid, CliError> {
+        let grid = match self {
+            GridSpec::Preset(name) => match name.as_str() {
+                "paper" => FaultGrid::paper(),
+                "paper-half-phi" => FaultGrid::paper_half_phi(),
+                "coarse" => FaultGrid::coarse(),
+                other => {
+                    return Err(CliError::manifest(format!(
+                        "grid preset must be one of {:?}, got {other:?}",
+                        Self::PRESETS
+                    )))
+                }
+            },
+            GridSpec::Custom { thetas, phis } => FaultGrid::custom(thetas.clone(), phis.clone()),
+        };
+        if grid.is_empty() {
+            return Err(CliError::manifest("fault grid has an empty axis"));
+        }
+        Ok(grid)
+    }
+}
+
+/// A parsed, validated campaign description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name (directory-safe).
+    pub name: String,
+    /// Master seed for the hardware scenario's drift/sampling streams.
+    pub seed: u64,
+    /// Worker threads; `0` = all available cores.
+    pub threads: usize,
+    /// Execution scenario.
+    pub executor: ExecutorKind,
+    /// Shots per execution (hardware scenario).
+    pub shots: u64,
+    /// Calibration drift σ (hardware scenario).
+    pub drift: f64,
+    /// Workload registry names.
+    pub workloads: Vec<String>,
+    /// Backend calibration names; empty only under the ideal executor.
+    pub backends: Vec<String>,
+    /// Noise scale factors applied to each backend calibration.
+    pub noise_scales: Vec<f64>,
+    /// The φ/θ fault grid.
+    pub grid: GridSpec,
+}
+
+impl Manifest {
+    /// Parses and validates manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors, unknown keys/names, and semantically-invalid
+    /// combinations (e.g. a workload wider than a backend).
+    pub fn from_toml(text: &str) -> Result<Self, CliError> {
+        let doc = toml::parse(text).map_err(|e| CliError::manifest(e.to_string()))?;
+        Self::from_document(&doc)
+    }
+
+    fn from_document(doc: &Document) -> Result<Self, CliError> {
+        for section in doc.keys() {
+            if !section.is_empty() && section != "campaign" && section != "grid" {
+                return Err(CliError::manifest(format!(
+                    "unknown section [{section}] (expected [campaign] and optional [grid])"
+                )));
+            }
+        }
+        if let Some(root) = doc.get("") {
+            if let Some(key) = root.keys().next() {
+                return Err(CliError::manifest(format!(
+                    "key {key:?} outside any section; move it under [campaign]"
+                )));
+            }
+        }
+        let campaign = doc
+            .get("campaign")
+            .ok_or_else(|| CliError::manifest("missing [campaign] section"))?;
+        for key in campaign.keys() {
+            const KNOWN: &[&str] = &[
+                "name",
+                "seed",
+                "threads",
+                "executor",
+                "shots",
+                "drift",
+                "workloads",
+                "backends",
+                "noise_scales",
+            ];
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(CliError::manifest(format!(
+                    "unknown [campaign] key {key:?} (known: {KNOWN:?})"
+                )));
+            }
+        }
+
+        let name = match campaign.get("name") {
+            Some(v) => require_str(v, "campaign.name")?.to_string(),
+            None => "campaign".to_string(),
+        };
+        if name.is_empty()
+            || name.chars().all(|c| c == '.') // "." / ".." would escape the runs dir
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(CliError::manifest(format!(
+                "campaign.name {name:?} must be non-empty and [A-Za-z0-9._-] only \
+                 (it becomes a directory name)"
+            )));
+        }
+
+        let seed = opt_u64(campaign, "seed")?.unwrap_or(42);
+        let threads = opt_u64(campaign, "threads")?.unwrap_or(0) as usize;
+        let executor = match campaign.get("executor") {
+            Some(v) => ExecutorKind::parse(require_str(v, "campaign.executor")?)?,
+            None => ExecutorKind::Noisy,
+        };
+        let shots = opt_u64(campaign, "shots")?.unwrap_or(1024);
+        if shots == 0 {
+            return Err(CliError::manifest("campaign.shots must be positive"));
+        }
+        let drift = opt_f64(campaign, "drift")?.unwrap_or(0.05);
+        if !(0.0..=1.0).contains(&drift) {
+            return Err(CliError::manifest("campaign.drift must be in [0, 1]"));
+        }
+
+        let workloads = str_array(campaign, "workloads")?
+            .ok_or_else(|| CliError::manifest("campaign.workloads is required"))?;
+        if workloads.is_empty() {
+            return Err(CliError::manifest("campaign.workloads must not be empty"));
+        }
+        let backends = str_array(campaign, "backends")?.unwrap_or_default();
+        if backends.is_empty() && executor != ExecutorKind::Ideal {
+            return Err(CliError::manifest(format!(
+                "campaign.backends is required for the {} executor",
+                executor.keyword()
+            )));
+        }
+        let noise_scales = f64_array(campaign, "noise_scales")?.unwrap_or_else(|| vec![1.0]);
+        if noise_scales.is_empty() {
+            return Err(CliError::manifest(
+                "campaign.noise_scales must not be empty",
+            ));
+        }
+        for &s in &noise_scales {
+            if !(s.is_finite() && s >= 0.0) {
+                return Err(CliError::manifest(format!(
+                    "noise scale {s} must be finite and non-negative"
+                )));
+            }
+        }
+
+        let grid = match doc.get("grid") {
+            None => GridSpec::Preset("paper".to_string()),
+            Some(table) => parse_grid(table)?,
+        };
+
+        let manifest = Manifest {
+            name,
+            seed,
+            threads,
+            executor,
+            shots,
+            drift,
+            workloads,
+            backends,
+            noise_scales,
+            grid,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Cross-checks names against the registries and widths against the
+    /// devices.
+    fn validate(&self) -> Result<(), CliError> {
+        self.grid.to_grid()?;
+        // Duplicate matrix axes would yield two jobs with the same id
+        // appending to the same checkpoint file concurrently.
+        let mut seen = std::collections::HashSet::new();
+        for w in &self.workloads {
+            if !seen.insert(w.as_str()) {
+                return Err(CliError::manifest(format!("duplicate workload {w:?}")));
+            }
+        }
+        seen.clear();
+        for b in &self.backends {
+            if !seen.insert(b.as_str()) {
+                return Err(CliError::manifest(format!("duplicate backend {b:?}")));
+            }
+        }
+        let mut seen_scales = std::collections::HashSet::new();
+        for &s in &self.noise_scales {
+            if !seen_scales.insert(s.to_bits()) {
+                return Err(CliError::manifest(format!("duplicate noise scale {s}")));
+            }
+        }
+        let mut widths = Vec::new();
+        for w in &self.workloads {
+            let (_, n) = qufi_algos::parse_workload_name(w)
+                .map_err(|e| CliError::manifest(e.to_string()))?;
+            widths.push((w.clone(), n));
+        }
+        if self.executor == ExecutorKind::Ideal {
+            return Ok(());
+        }
+        for b in &self.backends {
+            let cal = qufi_noise::BackendCalibration::named(b).ok_or_else(|| {
+                CliError::manifest(format!(
+                    "unknown backend {b:?} (known: {:?})",
+                    qufi_noise::BackendCalibration::builtin_names()
+                ))
+            })?;
+            for (w, n) in &widths {
+                if *n > cal.num_qubits() {
+                    return Err(CliError::manifest(format!(
+                        "workload {w} needs {n} qubits but backend {b} has {}",
+                        cal.num_qubits()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the manifest back as canonical TOML — stored alongside
+    /// checkpoints so `qufi resume` reruns exactly what `qufi run` saw.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from("[campaign]\n");
+        let _ = writeln!(out, "name = {}", toml::quote(&self.name));
+        let _ = writeln!(out, "seed = {}", self.seed);
+        let _ = writeln!(out, "threads = {}", self.threads);
+        let _ = writeln!(out, "executor = {}", toml::quote(self.executor.keyword()));
+        let _ = writeln!(out, "shots = {}", self.shots);
+        let _ = writeln!(out, "drift = {}", toml::float(self.drift));
+        let quoted = |names: &[String]| {
+            names
+                .iter()
+                .map(|n| toml::quote(n))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "workloads = [{}]", quoted(&self.workloads));
+        let _ = writeln!(out, "backends = [{}]", quoted(&self.backends));
+        let floats = |vals: &[f64]| {
+            vals.iter()
+                .map(|&v| toml::float(v))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "noise_scales = [{}]", floats(&self.noise_scales));
+        out.push_str("\n[grid]\n");
+        match &self.grid {
+            GridSpec::Preset(p) => {
+                let _ = writeln!(out, "preset = {}", toml::quote(p));
+            }
+            GridSpec::Custom { thetas, phis } => {
+                let _ = writeln!(out, "thetas = [{}]", floats(thetas));
+                let _ = writeln!(out, "phis = [{}]", floats(phis));
+            }
+        }
+        out
+    }
+}
+
+fn parse_grid(table: &Table) -> Result<GridSpec, CliError> {
+    for key in table.keys() {
+        if !matches!(key.as_str(), "preset" | "thetas" | "phis") {
+            return Err(CliError::manifest(format!(
+                "unknown [grid] key {key:?} (known: preset, thetas, phis)"
+            )));
+        }
+    }
+    match (table.get("preset"), table.get("thetas"), table.get("phis")) {
+        (Some(p), None, None) => Ok(GridSpec::Preset(require_str(p, "grid.preset")?.to_string())),
+        (None, Some(_), Some(_)) => Ok(GridSpec::Custom {
+            thetas: f64_array(table, "thetas")?.expect("present"),
+            phis: f64_array(table, "phis")?.expect("present"),
+        }),
+        _ => Err(CliError::manifest(
+            "[grid] needs either `preset = \"…\"` or both `thetas` and `phis`",
+        )),
+    }
+}
+
+fn require_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, CliError> {
+    v.as_str()
+        .ok_or_else(|| CliError::manifest(format!("{what} must be a string")))
+}
+
+fn opt_u64(table: &Table, key: &str) -> Result<Option<u64>, CliError> {
+    table
+        .get(key)
+        .map(|v| {
+            v.as_u64().ok_or_else(|| {
+                CliError::manifest(format!("campaign.{key} must be a non-negative integer"))
+            })
+        })
+        .transpose()
+}
+
+fn opt_f64(table: &Table, key: &str) -> Result<Option<f64>, CliError> {
+    table
+        .get(key)
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| CliError::manifest(format!("campaign.{key} must be a number")))
+        })
+        .transpose()
+}
+
+fn str_array(table: &Table, key: &str) -> Result<Option<Vec<String>>, CliError> {
+    let Some(v) = table.get(key) else {
+        return Ok(None);
+    };
+    let items = v
+        .as_array()
+        .ok_or_else(|| CliError::manifest(format!("{key} must be an array of strings")))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| CliError::manifest(format!("{key} must contain only strings")))
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
+
+fn f64_array(table: &Table, key: &str) -> Result<Option<Vec<f64>>, CliError> {
+    let Some(v) = table.get(key) else {
+        return Ok(None);
+    };
+    let items = v
+        .as_array()
+        .ok_or_else(|| CliError::manifest(format!("{key} must be an array of numbers")))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_f64()
+                .ok_or_else(|| CliError::manifest(format!("{key} must contain only numbers")))
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = r#"
+[campaign]
+name = "smoke"
+seed = 7
+threads = 2
+executor = "noisy"
+workloads = ["bv-4", "ghz-3"]
+backends = ["jakarta", "lima"]
+noise_scales = [1.0, 2.0]
+
+[grid]
+preset = "coarse"
+"#;
+
+    #[test]
+    fn parses_a_full_manifest() {
+        let m = Manifest::from_toml(SMOKE).unwrap();
+        assert_eq!(m.name, "smoke");
+        assert_eq!(m.seed, 7);
+        assert_eq!(m.executor, ExecutorKind::Noisy);
+        assert_eq!(m.workloads, vec!["bv-4", "ghz-3"]);
+        assert_eq!(m.backends, vec!["jakarta", "lima"]);
+        assert_eq!(m.noise_scales, vec![1.0, 2.0]);
+        assert!(!m.grid.to_grid().unwrap().is_empty());
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let m =
+            Manifest::from_toml("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"jakarta\"]\n")
+                .unwrap();
+        assert_eq!(m.name, "campaign");
+        assert_eq!(m.seed, 42);
+        assert_eq!(m.threads, 0);
+        assert_eq!(m.executor, ExecutorKind::Noisy);
+        assert_eq!(m.shots, 1024);
+        assert_eq!(m.noise_scales, vec![1.0]);
+        assert_eq!(m.grid, GridSpec::Preset("paper".to_string()));
+    }
+
+    #[test]
+    fn custom_grids_parse() {
+        let m = Manifest::from_toml(
+            "[campaign]\nworkloads = [\"bv-4\"]\nexecutor = \"ideal\"\n\
+             [grid]\nthetas = [0.0, 3.14]\nphis = [0.0]\n",
+        )
+        .unwrap();
+        let grid = m.grid.to_grid().unwrap();
+        assert_eq!(grid.len(), 2);
+    }
+
+    #[test]
+    fn ideal_campaigns_need_no_backends() {
+        let m = Manifest::from_toml("[campaign]\nexecutor = \"ideal\"\nworkloads = [\"qft-4\"]\n")
+            .unwrap();
+        assert!(m.backends.is_empty());
+    }
+
+    #[test]
+    fn semantic_validation_catches_bad_names() {
+        let err = |text: &str| Manifest::from_toml(text).unwrap_err().to_string();
+        assert!(err("[campaign]\nworkloads = [\"bv-4\"]\n").contains("backends is required"));
+        assert!(
+            err("[campaign]\nworkloads = [\"nope-4\"]\nbackends = [\"jakarta\"]\n")
+                .contains("family")
+        );
+        assert!(
+            err("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"quito\"]\n")
+                .contains("unknown backend")
+        );
+        assert!(
+            err("[campaign]\nworkloads = [\"bv-6\"]\nbackends = [\"lima\"]\n")
+                .contains("needs 6 qubits")
+        );
+        assert!(
+            err("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"jakarta\"]\nshots = 0\n")
+                .contains("shots")
+        );
+        assert!(err(SMOKE
+            .replace("name = \"smoke\"", "name = \"s m/oke\"")
+            .as_str())
+        .contains("directory name"));
+        assert!(
+            err("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"jakarta\"]\ntypo = 1\n")
+                .contains("unknown [campaign] key")
+        );
+    }
+
+    #[test]
+    fn duplicate_matrix_axes_are_rejected() {
+        let err = |text: &str| Manifest::from_toml(text).unwrap_err().to_string();
+        assert!(
+            err("[campaign]\nworkloads = [\"bv-4\", \"bv-4\"]\nbackends = [\"jakarta\"]\n")
+                .contains("duplicate workload")
+        );
+        assert!(
+            err("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"lima\", \"lima\"]\n")
+                .contains("duplicate backend")
+        );
+        assert!(err(
+            "[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"lima\"]\n\
+                     noise_scales = [1.0, 1.0]\n"
+        )
+        .contains("duplicate noise scale"));
+    }
+
+    #[test]
+    fn dots_only_names_cannot_escape_the_runs_dir() {
+        for name in [".", "..", "..."] {
+            let text = format!(
+                "[campaign]\nname = \"{name}\"\nexecutor = \"ideal\"\nworkloads = [\"bv-4\"]\n"
+            );
+            assert!(
+                Manifest::from_toml(&text)
+                    .unwrap_err()
+                    .to_string()
+                    .contains("directory name"),
+                "{name:?} accepted"
+            );
+        }
+        // Dots inside a name stay legal.
+        assert!(Manifest::from_toml(
+            "[campaign]\nname = \"v1.2\"\nexecutor = \"ideal\"\nworkloads = [\"bv-4\"]\n"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn canonical_toml_round_trips() {
+        for text in [
+            SMOKE.to_string(),
+            "[campaign]\nexecutor = \"ideal\"\nworkloads = [\"bv-4\"]\n\
+             [grid]\nthetas = [0.0, 0.7853981633974483]\nphis = [0.0, 3.141592653589793]\n"
+                .to_string(),
+        ] {
+            let m = Manifest::from_toml(&text).unwrap();
+            let round = Manifest::from_toml(&m.to_toml()).unwrap();
+            assert_eq!(m, round);
+        }
+    }
+}

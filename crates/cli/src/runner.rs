@@ -1,0 +1,408 @@
+//! The campaign scheduler: fans the (workload × backend × scale ×
+//! injection-point) task matrix across a worker pool, checkpointing each
+//! completed point so an interrupted campaign resumes without
+//! recomputation.
+//!
+//! Determinism contract: every task's result depends only on the
+//! manifest (executors are either stateless or seeded per point, see
+//! [`crate::job`]), so any interleaving of workers — and any
+//! interrupt/resume split — produces the same record values. Artifacts
+//! are generated from the checkpoint files afterwards
+//! ([`crate::export`]), which makes an interrupted-and-resumed campaign
+//! byte-identical to an uninterrupted one.
+
+use crate::checkpoint::{CheckpointStore, JobMeta};
+use crate::error::CliError;
+use crate::job::{job_matrix, JobRuntime};
+use crate::manifest::Manifest;
+use parking_lot::Mutex;
+use qufi_core::fault::{FaultGrid, InjectionPoint};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Invocation-level knobs that do not belong in the manifest.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Overrides the manifest's thread budget.
+    pub threads: Option<usize>,
+    /// Stop (gracefully, checkpoint intact) after this many injection
+    /// points have been *executed* in this invocation — time-boxed runs
+    /// and interruption tests.
+    pub point_budget: Option<usize>,
+    /// Suppress progress reporting on stderr.
+    pub quiet: bool,
+}
+
+/// Whether the campaign ran to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every job's every point is checkpointed.
+    Complete,
+    /// The point budget expired first; resume to continue.
+    Interrupted,
+}
+
+/// Per-job completion accounting.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's metadata.
+    pub meta: JobMeta,
+    /// Fully-checkpointed injection points.
+    pub points_done: usize,
+}
+
+impl JobOutcome {
+    /// `true` when every point is checkpointed.
+    pub fn is_complete(&self) -> bool {
+        self.points_done >= self.meta.points_total
+    }
+}
+
+/// What a scheduling pass did.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Completion status.
+    pub status: RunStatus,
+    /// Per-job accounting, in manifest order.
+    pub jobs: Vec<JobOutcome>,
+    /// Points executed by this invocation.
+    pub points_run: usize,
+    /// Points already satisfied by checkpoints.
+    pub points_resumed: usize,
+    /// Wall-clock time of the scheduling pass.
+    pub elapsed: Duration,
+}
+
+struct PreparedJob {
+    runtime: JobRuntime,
+    meta: JobMeta,
+    pending: Vec<InjectionPoint>,
+    append_lock: Mutex<()>,
+    done: AtomicUsize,
+}
+
+/// Runs (or resumes — the two are the same operation over the
+/// checkpoint store) the manifest's campaign under `out_dir`.
+///
+/// # Errors
+///
+/// Manifest/validation failures, checkpoint corruption, filesystem
+/// failures, and the first circuit-execution error.
+pub fn run_campaign(
+    manifest: &Manifest,
+    out_dir: &Path,
+    opts: &RunOptions,
+) -> Result<RunSummary, CliError> {
+    let started = Instant::now();
+    let grid = manifest.grid.to_grid()?;
+    let store = CheckpointStore::open(out_dir)?;
+
+    // Prepare every job: build runtimes, reconcile checkpoints, and
+    // collect the pending point list.
+    let specs = job_matrix(manifest);
+    let mut jobs = Vec::with_capacity(specs.len());
+    let mut points_resumed = 0usize;
+    for (idx, spec) in specs.iter().enumerate() {
+        let runtime = JobRuntime::prepare(manifest, spec)?;
+        let meta = match store.load_meta(&spec.id())? {
+            Some(stored) => {
+                reconcile(&stored, &JobMeta::from_runtime(&runtime))?;
+                stored
+            }
+            None => {
+                let meta = JobMeta::from_runtime(&runtime);
+                store.save_meta(&meta)?;
+                meta
+            }
+        };
+        let records = store.load_records(&spec.id())?;
+        let done_points = complete_points(&records, &grid);
+        let pending: Vec<InjectionPoint> = runtime
+            .points
+            .iter()
+            .copied()
+            .filter(|p| !done_points.contains(p))
+            .collect();
+        points_resumed += runtime.points.len() - pending.len();
+        if !opts.quiet {
+            eprintln!(
+                "[prepare {}/{}] {}: {} points ({} checkpointed, {} to run)",
+                idx + 1,
+                specs.len(),
+                spec.id(),
+                runtime.points.len(),
+                runtime.points.len() - pending.len(),
+                pending.len(),
+            );
+        }
+        jobs.push(PreparedJob {
+            runtime,
+            meta,
+            pending,
+            append_lock: Mutex::new(()),
+            done: AtomicUsize::new(done_points.len()),
+        });
+    }
+
+    // Fan pending (job, point) tasks across the pool.
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, InjectionPoint)>();
+    let mut total_pending = 0usize;
+    for (job_idx, job) in jobs.iter().enumerate() {
+        for &point in &job.pending {
+            tx.send((job_idx, point)).expect("queue open");
+            total_pending += 1;
+        }
+    }
+    drop(tx);
+
+    let budget = opts.point_budget.unwrap_or(usize::MAX);
+    let executed = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
+    let first_error: Mutex<Option<CliError>> = Mutex::new(None);
+    let n_threads = resolve_threads(manifest, opts).min(total_pending.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            let rx = rx.clone();
+            let jobs = &jobs;
+            let grid = &grid;
+            let store = &store;
+            let executed = &executed;
+            let stopped = &stopped;
+            let first_error = &first_error;
+            scope.spawn(move || {
+                while let Ok((job_idx, point)) = rx.recv() {
+                    if stopped.load(Ordering::SeqCst) || first_error.lock().is_some() {
+                        return;
+                    }
+                    // Claim budget before running so an exhausted budget
+                    // never executes (and never checkpoints) extra work.
+                    if executed.fetch_add(1, Ordering::SeqCst) >= budget {
+                        executed.fetch_sub(1, Ordering::SeqCst);
+                        stopped.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    let job = &jobs[job_idx];
+                    match job.runtime.run_point(point, grid) {
+                        Ok(shard) => {
+                            let guard = job.append_lock.lock();
+                            if let Err(e) = store.append_records(&job.meta.id, &shard) {
+                                first_error.lock().get_or_insert(e);
+                                return;
+                            }
+                            drop(guard);
+                            let done = job.done.fetch_add(1, Ordering::SeqCst) + 1;
+                            if !opts.quiet {
+                                report_progress(&job.meta, done);
+                            }
+                        }
+                        Err(e) => {
+                            first_error.lock().get_or_insert(CliError::Exec(e));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+
+    let status = if stopped.into_inner() {
+        RunStatus::Interrupted
+    } else {
+        RunStatus::Complete
+    };
+    let points_run = executed.into_inner();
+    let jobs: Vec<JobOutcome> = jobs
+        .into_iter()
+        .map(|j| JobOutcome {
+            meta: j.meta,
+            points_done: j.done.into_inner(),
+        })
+        .collect();
+    if !opts.quiet {
+        let done_jobs = jobs.iter().filter(|j| j.is_complete()).count();
+        eprintln!(
+            "{}: {done_jobs}/{} jobs complete, {points_run} points run, \
+             {points_resumed} resumed from checkpoint ({:.1}s)",
+            match status {
+                RunStatus::Complete => "campaign complete",
+                RunStatus::Interrupted => "campaign interrupted (budget)",
+            },
+            jobs.len(),
+            started.elapsed().as_secs_f64(),
+        );
+    }
+    Ok(RunSummary {
+        status,
+        jobs,
+        points_run,
+        points_resumed,
+        elapsed: started.elapsed(),
+    })
+}
+
+fn resolve_threads(manifest: &Manifest, opts: &RunOptions) -> usize {
+    match opts.threads.unwrap_or(manifest.threads) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Points whose full grid is present in the checkpointed records.
+/// Completeness means every *distinct* (θ, φ) cell is covered — raw
+/// record counts would be fooled by the duplicates that repeated
+/// interrupt/re-run cycles legitimately leave behind. Partially-swept
+/// points count as missing and are re-run; duplicates merge away at
+/// export time.
+fn complete_points(
+    records: &[qufi_core::InjectionRecord],
+    grid: &FaultGrid,
+) -> std::collections::HashSet<InjectionPoint> {
+    let mut cells: std::collections::HashMap<
+        InjectionPoint,
+        std::collections::HashSet<(u64, u64)>,
+    > = std::collections::HashMap::new();
+    for r in records {
+        cells
+            .entry(r.point)
+            .or_default()
+            .insert((r.theta.to_bits(), r.phi.to_bits()));
+    }
+    cells
+        .into_iter()
+        .filter(|(_, covered)| covered.len() >= grid.len())
+        .map(|(p, _)| p)
+        .collect()
+}
+
+/// A stored meta must describe the same experiment the manifest
+/// produces now, or the checkpoint belongs to a different campaign.
+fn reconcile(stored: &JobMeta, fresh: &JobMeta) -> Result<(), CliError> {
+    let mismatch = |what: &str| {
+        Err(CliError::checkpoint(format!(
+            "job {}: checkpointed {what} disagrees with the manifest; \
+             this output directory belongs to a different campaign",
+            stored.id
+        )))
+    };
+    if stored.golden != fresh.golden {
+        return mismatch("golden outputs");
+    }
+    if stored.points_total != fresh.points_total {
+        return mismatch("injection-point count");
+    }
+    // Executors are deterministic, so the baseline must reproduce
+    // bit-for-bit; any drift means a different executor configuration.
+    if stored.baseline_qvf.to_bits() != fresh.baseline_qvf.to_bits() {
+        return mismatch("baseline QVF");
+    }
+    Ok(())
+}
+
+fn report_progress(meta: &JobMeta, done: usize) {
+    let total = meta.points_total;
+    let stride = (total / 10).max(1);
+    if done == total || done.is_multiple_of(stride) {
+        eprintln!("  [{}] {done}/{total} points", meta.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn manifest(threads: usize) -> Manifest {
+        Manifest::from_toml(&format!(
+            "[campaign]\nname = \"t\"\nthreads = {threads}\nexecutor = \"noisy\"\n\
+             workloads = [\"bv-3\"]\nbackends = [\"lima\"]\n\
+             [grid]\nthetas = [0.0, 3.141592653589793]\nphis = [0.0]\n"
+        ))
+        .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qufi-runner-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn complete_run_then_noop_resume() {
+        let dir = temp_dir("noop");
+        let m = manifest(2);
+        let opts = RunOptions {
+            quiet: true,
+            ..RunOptions::default()
+        };
+        let first = run_campaign(&m, &dir, &opts).unwrap();
+        assert_eq!(first.status, RunStatus::Complete);
+        assert!(first.points_run > 0);
+        assert_eq!(first.points_resumed, 0);
+        assert!(first.jobs.iter().all(JobOutcome::is_complete));
+
+        let second = run_campaign(&m, &dir, &opts).unwrap();
+        assert_eq!(second.status, RunStatus::Complete);
+        assert_eq!(second.points_run, 0, "resume must not recompute");
+        assert_eq!(second.points_resumed, first.points_run);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn budget_interrupts_then_resume_finishes() {
+        let dir = temp_dir("budget");
+        let m = manifest(1);
+        let quiet = RunOptions {
+            quiet: true,
+            ..RunOptions::default()
+        };
+        let first = run_campaign(
+            &m,
+            &dir,
+            &RunOptions {
+                point_budget: Some(2),
+                ..quiet.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(first.status, RunStatus::Interrupted);
+        assert_eq!(first.points_run, 2);
+
+        let second = run_campaign(&m, &dir, &quiet).unwrap();
+        assert_eq!(second.status, RunStatus::Complete);
+        assert_eq!(second.points_resumed, 2);
+        assert!(second.jobs.iter().all(JobOutcome::is_complete));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_rejected() {
+        let dir = temp_dir("foreign");
+        let quiet = RunOptions {
+            quiet: true,
+            ..RunOptions::default()
+        };
+        run_campaign(&manifest(1), &dir, &quiet).unwrap();
+        // Same job ids, different executor scenario → different baseline.
+        let other = Manifest::from_toml(
+            "[campaign]\nname = \"t\"\nexecutor = \"ideal\"\nworkloads = [\"bv-3\"]\n\
+             backends = [\"lima\"]\n[grid]\nthetas = [0.0, 3.141592653589793]\nphis = [0.0]\n",
+        )
+        .unwrap();
+        let err = run_campaign(&other, &dir, &quiet).unwrap_err().to_string();
+        assert!(err.contains("different campaign"), "{err}");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,413 @@
+//! A minimal TOML-subset parser for run manifests and checkpoint
+//! metadata. The real `toml` crate is not vendorable offline (see
+//! `vendor/README.md`), and campaign manifests only need a small,
+//! line-oriented slice of the format:
+//!
+//! * `[section]` headers (one level, no dotted keys),
+//! * `key = value` pairs with bare keys,
+//! * strings (basic `"…"` with `\" \\ \n \r \t` escapes), integers,
+//!   floats, booleans, and flat arrays of those (multi-line allowed),
+//! * `#` comments and blank lines.
+//!
+//! Floats round-trip exactly: the writer emits Rust's shortest
+//! round-trip form and the parser reads it back bit-identically, which
+//! the resume machinery relies on for checkpoint metadata.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A signed integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A flat array.
+    Array(Vec<Value>),
+}
+
+/// One `[section]`'s key/value pairs.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document: section name → table. Keys above the first
+/// section header land in the `""` table.
+pub type Document = BTreeMap<String, Table>;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// Line where parsing failed.
+    pub line: usize,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "manifest parse error at line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: usize, reason: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Strips a trailing comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// `true` when every `[`/`]` outside strings is balanced — used to join
+/// multi-line arrays.
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => escaped = false,
+        }
+    }
+    depth <= 0
+}
+
+/// Parses a TOML-subset document.
+///
+/// # Errors
+///
+/// Returns the first malformed construct with its line number.
+pub fn parse(text: &str) -> Result<Document, TomlError> {
+    let mut doc = Document::new();
+    let mut current = String::new();
+    doc.insert(current.clone(), Table::new());
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            if name.starts_with('[') {
+                return Err(err(lineno, "arrays of tables ([[…]]) are not supported"));
+            }
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header"))?
+                .trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty section name"));
+            }
+            current = name.to_string();
+            doc.entry(current.clone()).or_default();
+            continue;
+        }
+        let (key, value_text) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .ok_or_else(|| err(lineno, "expected `key = value` or `[section]`"))?;
+        if key.is_empty() {
+            return Err(err(lineno, "empty key"));
+        }
+        // Join continuation lines of a multi-line array.
+        let mut value_text = value_text;
+        while value_text.starts_with('[') && !brackets_balanced(&value_text) {
+            let (_, next) = lines
+                .next()
+                .ok_or_else(|| err(lineno, "unterminated array"))?;
+            value_text.push(' ');
+            value_text.push_str(strip_comment(next).trim());
+        }
+        let value = parse_value(&value_text, lineno)?;
+        let table = doc.entry(current.clone()).or_default();
+        if table.insert(key.clone(), value).is_some() {
+            return Err(err(lineno, format!("duplicate key {key:?}")));
+        }
+    }
+    Ok(doc)
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, TomlError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(err(line, "missing value"));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(line, "unterminated array"))?;
+        let mut items = Vec::new();
+        for piece in split_array_items(body, line)? {
+            items.push(parse_value(&piece, line)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if text.starts_with('"') {
+        return parse_string(text, line).map(Value::Str);
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let numeric = text.replace('_', "");
+    if numeric.contains(['.', 'e', 'E']) || numeric.contains("inf") || numeric.contains("nan") {
+        numeric
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(line, format!("bad float {text:?}")))
+    } else {
+        numeric
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(line, format!("bad value {text:?}")))
+    }
+}
+
+/// Splits array body text on top-level commas, respecting strings.
+fn split_array_items(body: &str, line: usize) -> Result<Vec<String>, TomlError> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut depth = 0usize;
+    for c in body.chars() {
+        match c {
+            '\\' if in_string => {
+                escaped = !escaped;
+                current.push(c);
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| err(line, "unbalanced brackets in array"))?;
+            }
+            ',' if !in_string && depth == 0 => {
+                let piece = current.trim().to_string();
+                if !piece.is_empty() {
+                    items.push(piece);
+                }
+                current.clear();
+                continue;
+            }
+            _ => {}
+        }
+        escaped = false;
+        current.push(c);
+    }
+    if in_string {
+        return Err(err(line, "unterminated string in array"));
+    }
+    let piece = current.trim().to_string();
+    if !piece.is_empty() {
+        items.push(piece);
+    }
+    Ok(items)
+}
+
+fn parse_string(text: &str, line: usize) -> Result<String, TomlError> {
+    let body = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| err(line, "unterminated string"))?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            if c == '"' {
+                return Err(err(line, "unescaped quote inside string"));
+            }
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            other => return Err(err(line, format!("unsupported escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Typed accessors — manifest code reads through these for uniform errors.
+
+impl Value {
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a string as a TOML literal.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float so the parser reads it back bit-identically, always
+/// typed as a float.
+pub fn float(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("nan") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = parse(
+            r#"
+# a manifest
+top = 1
+[campaign]
+name = "smoke test"   # trailing comment
+seed = 42
+threads = 0
+drift = 0.05
+fast = true
+workloads = ["bv-4", "dj-4"]
+scales = [0.5, 1.0, 2]
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc[""]["top"], Value::Int(1));
+        let c = &doc["campaign"];
+        assert_eq!(c["name"].as_str(), Some("smoke test"));
+        assert_eq!(c["seed"].as_u64(), Some(42));
+        assert_eq!(c["drift"].as_f64(), Some(0.05));
+        assert_eq!(c["fast"], Value::Bool(true));
+        assert_eq!(c["workloads"].as_array().unwrap().len(), 2);
+        let scales: Vec<f64> = c["scales"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(scales, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn multi_line_arrays_join() {
+        let doc = parse("[g]\nthetas = [\n  0.0, # zero\n  3.14,\n]\n").unwrap();
+        assert_eq!(doc["g"]["thetas"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_hashes() {
+        let doc = parse("s = \"a#b \\\"q\\\" \\\\ end\"\n").unwrap();
+        assert_eq!(doc[""]["s"].as_str(), Some("a#b \"q\" \\ end"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse("x 1\n").unwrap_err().line, 1);
+        assert_eq!(parse("a = 1\nb = \n").unwrap_err().line, 2);
+        assert!(parse("[[t]]\n")
+            .unwrap_err()
+            .reason
+            .contains("not supported"));
+        assert!(parse("a = 1\na = 2\n")
+            .unwrap_err()
+            .reason
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-17, 123456.789, f64::MIN_POSITIVE] {
+            let text = format!("x = {}\n", float(v));
+            let doc = parse(&text).unwrap();
+            assert_eq!(doc[""]["x"].as_f64(), Some(v), "{text}");
+        }
+        assert_eq!(float(2.0), "2.0");
+    }
+
+    #[test]
+    fn quote_round_trips() {
+        let s = "weird \"name\"\nwith\ttabs\\";
+        let doc = parse(&format!("x = {}\n", quote(s))).unwrap();
+        assert_eq!(doc[""]["x"].as_str(), Some(s));
+    }
+}

@@ -7,7 +7,9 @@
 
 use crate::error::ExecError;
 use crate::executor::{Executor, IdealExecutor};
-use crate::fault::{enumerate_injection_points, inject_fault, FaultGrid, FaultParams, InjectionPoint};
+use crate::fault::{
+    enumerate_injection_points, inject_fault, FaultGrid, FaultParams, InjectionPoint,
+};
 use crate::metrics::{mean, qvf_from_dist, stddev, Severity};
 use parking_lot::Mutex;
 use qufi_sim::QuantumCircuit;
@@ -88,7 +90,74 @@ pub struct CampaignResult {
     pub grid: FaultGrid,
 }
 
+/// The deterministic record order: (point, φ, θ).
+fn record_key(r: &InjectionRecord) -> (InjectionPoint, f64, f64) {
+    (r.point, r.phi, r.theta)
+}
+
+fn sort_records(records: &mut [InjectionRecord]) {
+    records.sort_by(|a, b| {
+        record_key(a)
+            .partial_cmp(&record_key(b))
+            .expect("angles are finite")
+    });
+}
+
 impl CampaignResult {
+    /// Assembles a result from independently-produced pieces (checkpoint
+    /// shards, per-point jobs) — records are sorted into the canonical
+    /// (point, φ, θ) order so the result is identical to what one
+    /// uninterrupted [`run_single_campaign`] call would have returned.
+    pub fn from_parts(
+        circuit_name: impl Into<String>,
+        golden: Vec<usize>,
+        baseline_qvf: f64,
+        grid: FaultGrid,
+        mut records: Vec<InjectionRecord>,
+    ) -> Self {
+        sort_records(&mut records);
+        CampaignResult {
+            circuit_name: circuit_name.into(),
+            golden,
+            baseline_qvf,
+            records,
+            grid,
+        }
+    }
+
+    /// Incrementally merges more records into this result (e.g. a resumed
+    /// campaign folding fresh injections into a checkpoint). Duplicate
+    /// (point, θ, φ) entries keep the already-present record, so replaying
+    /// a checkpoint over itself is a no-op; ordering is restored.
+    pub fn merge_records(&mut self, extra: Vec<InjectionRecord>) {
+        if extra.is_empty() {
+            return;
+        }
+        let mut seen: std::collections::HashSet<(usize, usize, u64, u64)> = self
+            .records
+            .iter()
+            .map(|r| {
+                (
+                    r.point.op_index,
+                    r.point.qubit,
+                    r.theta.to_bits(),
+                    r.phi.to_bits(),
+                )
+            })
+            .collect();
+        for r in extra {
+            if seen.insert((
+                r.point.op_index,
+                r.point.qubit,
+                r.theta.to_bits(),
+                r.phi.to_bits(),
+            )) {
+                self.records.push(r);
+            }
+        }
+        sort_records(&mut self.records);
+    }
+
     /// All QVF values.
     pub fn qvfs(&self) -> Vec<f64> {
         self.records.iter().map(|r| r.qvf).collect()
@@ -180,6 +249,36 @@ pub fn golden_outputs(qc: &QuantumCircuit) -> Result<Vec<usize>, ExecError> {
         .collect())
 }
 
+/// Executes one scheduling unit of a campaign: every (θ, φ) of `grid`
+/// injected at a single `point`, serially, in grid order. Campaign
+/// drivers (the in-process thread pool here, the `qufi` CLI's
+/// checkpointed scheduler) fan these out and merge the records with
+/// [`CampaignResult::merge_records`].
+///
+/// # Errors
+///
+/// The first execution error aborts the sweep.
+pub fn run_point_sweep<E: Executor>(
+    qc: &QuantumCircuit,
+    golden: &[usize],
+    executor: &E,
+    point: InjectionPoint,
+    grid: &FaultGrid,
+) -> Result<Vec<InjectionRecord>, ExecError> {
+    let mut out = Vec::with_capacity(grid.len());
+    for (theta, phi) in grid.iter() {
+        let faulty = inject_fault(qc, point, FaultParams::shift(theta, phi));
+        let dist = executor.execute(&faulty)?;
+        out.push(InjectionRecord {
+            point,
+            theta,
+            phi,
+            qvf: qvf_from_dist(&dist, golden),
+        });
+    }
+    Ok(out)
+}
+
 /// Runs a single-fault campaign of `qc` on `executor`.
 ///
 /// Every injection builds the faulty circuit, executes it, and scores the
@@ -225,19 +324,11 @@ pub fn run_single_campaign<E: Executor>(
                     if first_error.lock().is_some() {
                         return;
                     }
-                    for (theta, phi) in grid.iter() {
-                        let faulty = inject_fault(qc, point, FaultParams::shift(theta, phi));
-                        match executor.execute(&faulty) {
-                            Ok(dist) => local.push(InjectionRecord {
-                                point,
-                                theta,
-                                phi,
-                                qvf: qvf_from_dist(&dist, golden),
-                            }),
-                            Err(e) => {
-                                first_error.lock().get_or_insert(e);
-                                return;
-                            }
+                    match run_point_sweep(qc, golden, executor, point, grid) {
+                        Ok(records) => local.extend(records),
+                        Err(e) => {
+                            first_error.lock().get_or_insert(e);
+                            return;
                         }
                     }
                 }
@@ -249,19 +340,13 @@ pub fn run_single_campaign<E: Executor>(
     if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
-    let mut records = records.into_inner();
-    records.sort_by(|a, b| {
-        (a.point, a.phi, a.theta)
-            .partial_cmp(&(b.point, b.phi, b.theta))
-            .expect("angles are finite")
-    });
-    Ok(CampaignResult {
-        circuit_name: qc.name.clone(),
-        golden: golden.to_vec(),
+    Ok(CampaignResult::from_parts(
+        qc.name.clone(),
+        golden.to_vec(),
         baseline_qvf,
-        records,
-        grid: options.grid.clone(),
-    })
+        options.grid.clone(),
+        records.into_inner(),
+    ))
 }
 
 #[cfg(test)]
@@ -292,7 +377,11 @@ mod tests {
             run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
         assert!(!res.is_empty());
         for r in &res.records {
-            assert!(r.qvf < 1e-9, "null fault should be invisible, got {}", r.qvf);
+            assert!(
+                r.qvf < 1e-9,
+                "null fault should be invisible, got {}",
+                r.qvf
+            );
         }
         assert_eq!(res.baseline_qvf, 0.0);
     }
@@ -340,10 +429,10 @@ mod tests {
             points: None,
             threads,
         };
-        let a = run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &mk(1))
-            .unwrap();
-        let b = run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &mk(4))
-            .unwrap();
+        let a =
+            run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &mk(1)).unwrap();
+        let b =
+            run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &mk(4)).unwrap();
         assert_eq!(a.records, b.records);
     }
 
@@ -353,7 +442,10 @@ mod tests {
         let ex = NoisyExecutor::new(BackendCalibration::jakarta());
         let opts = CampaignOptions {
             grid: FaultGrid::custom(vec![0.0, PI], vec![0.0]),
-            points: Some(vec![InjectionPoint { op_index: 2, qubit: 0 }]),
+            points: Some(vec![InjectionPoint {
+                op_index: 2,
+                qubit: 0,
+            }]),
             threads: 0,
         };
         let res = run_single_campaign(&w.circuit, &w.correct_outputs, &ex, &opts).unwrap();
@@ -365,6 +457,44 @@ mod tests {
         let q0 = res.records.iter().find(|r| r.theta == 0.0).unwrap().qvf;
         let qpi = res.records.iter().find(|r| r.theta == PI).unwrap().qvf;
         assert!(qpi > q0 + 0.3, "θ=π ({qpi}) vs θ=0 ({q0})");
+    }
+
+    #[test]
+    fn point_sweeps_merge_into_the_full_campaign() {
+        // Fan the campaign out point-by-point through the public job unit
+        // and reassemble with merge_records: must bit-match the one-shot
+        // run, regardless of merge order or duplicated shards.
+        let w = bernstein_vazirani(0b10, 2);
+        let opts = CampaignOptions {
+            grid: FaultGrid::coarse(),
+            points: None,
+            threads: 1,
+        };
+        let whole =
+            run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
+
+        let mut rebuilt = CampaignResult::from_parts(
+            w.circuit.name.clone(),
+            whole.golden.clone(),
+            whole.baseline_qvf,
+            opts.grid.clone(),
+            Vec::new(),
+        );
+        let mut points = enumerate_injection_points(&w.circuit);
+        points.reverse(); // out-of-order merges must not matter
+        for p in points {
+            let shard = run_point_sweep(
+                &w.circuit,
+                &w.correct_outputs,
+                &IdealExecutor,
+                p,
+                &opts.grid,
+            )
+            .unwrap();
+            rebuilt.merge_records(shard.clone());
+            rebuilt.merge_records(shard); // replaying a shard is a no-op
+        }
+        assert_eq!(rebuilt.records, whole.records);
     }
 
     #[test]

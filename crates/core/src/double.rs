@@ -199,8 +199,7 @@ pub fn run_double_campaign<E: Executor>(
                     for &phi0 in &grid.phis {
                         for &theta0 in &grid.thetas {
                             for &phi1 in grid.phis.iter().filter(|&&p| p <= phi0 + 1e-12) {
-                                for &theta1 in
-                                    grid.thetas.iter().filter(|&&t| t <= theta0 + 1e-12)
+                                for &theta1 in grid.thetas.iter().filter(|&&t| t <= theta0 + 1e-12)
                                 {
                                     let faulty = inject_double_fault(
                                         qc,
@@ -291,13 +290,16 @@ mod tests {
         let w = bernstein_vazirani(0b101, 3);
         let ex = NoisyExecutor::new(BackendCalibration::jakarta());
         let points = vec![
-            crate::fault::InjectionPoint { op_index: 2, qubit: 0 },
-            crate::fault::InjectionPoint { op_index: 5, qubit: 0 },
+            crate::fault::InjectionPoint {
+                op_index: 2,
+                qubit: 0,
+            },
+            crate::fault::InjectionPoint {
+                op_index: 5,
+                qubit: 0,
+            },
         ];
-        let grid = FaultGrid::custom(
-            vec![0.0, PI / 2.0, PI],
-            vec![0.0, PI / 2.0, PI],
-        );
+        let grid = FaultGrid::custom(vec![0.0, PI / 2.0, PI], vec![0.0, PI / 2.0, PI]);
         let single = run_single_campaign(
             &w.circuit,
             &w.correct_outputs,
@@ -336,7 +338,10 @@ mod tests {
         // θ1 = φ1 = 0: the double record must equal the single-fault QVF.
         let w = bernstein_vazirani(0b11, 2);
         let golden = golden_outputs(&w.circuit).unwrap();
-        let point = crate::fault::InjectionPoint { op_index: 2, qubit: 0 };
+        let point = crate::fault::InjectionPoint {
+            op_index: 2,
+            qubit: 0,
+        };
         let opts = DoubleOptions {
             grid: FaultGrid::custom(vec![0.0, PI], vec![0.0]),
             points: Some(vec![point]),
@@ -350,13 +355,8 @@ mod tests {
             .filter(|r| r.theta0 == PI && r.theta1 == 0.0 && r.phi1 == 0.0)
             .collect();
         assert!(!zero_second.is_empty());
-        let single = crate::fault::inject_fault(
-            &w.circuit,
-            point,
-            FaultParams::shift(PI, 0.0),
-        );
-        let single_qvf =
-            qvf_from_dist(&IdealExecutor.execute(&single).unwrap(), &golden);
+        let single = crate::fault::inject_fault(&w.circuit, point, FaultParams::shift(PI, 0.0));
+        let single_qvf = qvf_from_dist(&IdealExecutor.execute(&single).unwrap(), &golden);
         for r in zero_second {
             assert!((r.qvf - single_qvf).abs() < 1e-9);
         }

@@ -78,8 +78,11 @@ fn compact_circuit(qc: &QuantumCircuit, active: &[usize]) -> QuantumCircuit {
                 out.append(*gate, &mapped);
             }
             Op::Barrier(qs) => {
-                let mapped: Vec<usize> =
-                    qs.iter().map(|&q| pos[q]).filter(|&q| q != usize::MAX).collect();
+                let mapped: Vec<usize> = qs
+                    .iter()
+                    .map(|&q| pos[q])
+                    .filter(|&q| q != usize::MAX)
+                    .collect();
                 out.barrier(&mapped);
             }
             Op::Measure { qubit, clbit } => {
@@ -272,8 +275,7 @@ mod tests {
         let compact = compact_circuit(result.circuit(), &active);
         let compact_dist =
             simulate::run_noisy(&compact, &cal.restrict(&active).noise_model()).unwrap();
-        let full_dist =
-            simulate::run_noisy(result.circuit(), &cal.noise_model()).unwrap();
+        let full_dist = simulate::run_noisy(result.circuit(), &cal.noise_model()).unwrap();
         assert!(compact_dist.tv_distance(&full_dist) < 1e-9);
     }
 

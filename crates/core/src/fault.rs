@@ -132,7 +132,10 @@ pub fn enumerate_injection_points(qc: &QuantumCircuit) -> Vec<InjectionPoint> {
     for (i, op) in qc.instructions().enumerate() {
         if let Op::Gate { qubits, .. } = op {
             for &q in qubits {
-                points.push(InjectionPoint { op_index: i, qubit: q });
+                points.push(InjectionPoint {
+                    op_index: i,
+                    qubit: q,
+                });
             }
         }
     }
@@ -145,7 +148,11 @@ pub fn enumerate_injection_points(qc: &QuantumCircuit) -> Vec<InjectionPoint> {
 /// # Panics
 ///
 /// Panics if the point is out of range.
-pub fn inject_fault(qc: &QuantumCircuit, point: InjectionPoint, fault: FaultParams) -> QuantumCircuit {
+pub fn inject_fault(
+    qc: &QuantumCircuit,
+    point: InjectionPoint,
+    fault: FaultParams,
+) -> QuantumCircuit {
     assert!(point.op_index < qc.size(), "injection point out of range");
     let mut faulty = qc.clone();
     faulty.insert(point.op_index + 1, fault.injector_gate(), &[point.qubit]);
@@ -168,7 +175,10 @@ pub fn inject_double_fault(
     neighbor: usize,
     second: FaultParams,
 ) -> QuantumCircuit {
-    assert_ne!(point.qubit, neighbor, "double fault needs two distinct qubits");
+    assert_ne!(
+        point.qubit, neighbor,
+        "double fault needs two distinct qubits"
+    );
     assert!(
         second.theta <= first.theta + 1e-12 && second.phi <= first.phi + 1e-12,
         "second fault must not exceed the first (θ1 ≤ θ0, φ1 ≤ φ0)"
@@ -204,9 +214,27 @@ mod tests {
         let points = enumerate_injection_points(&qc);
         // h(0) -> 1 point, cx(0,1) -> 2 points; measures are not sites.
         assert_eq!(points.len(), 3);
-        assert_eq!(points[0], InjectionPoint { op_index: 0, qubit: 0 });
-        assert_eq!(points[1], InjectionPoint { op_index: 1, qubit: 0 });
-        assert_eq!(points[2], InjectionPoint { op_index: 1, qubit: 1 });
+        assert_eq!(
+            points[0],
+            InjectionPoint {
+                op_index: 0,
+                qubit: 0
+            }
+        );
+        assert_eq!(
+            points[1],
+            InjectionPoint {
+                op_index: 1,
+                qubit: 0
+            }
+        );
+        assert_eq!(
+            points[2],
+            InjectionPoint {
+                op_index: 1,
+                qubit: 1
+            }
+        );
     }
 
     #[test]
@@ -214,7 +242,10 @@ mod tests {
         let qc = bell();
         let faulty = inject_fault(
             &qc,
-            InjectionPoint { op_index: 0, qubit: 0 },
+            InjectionPoint {
+                op_index: 0,
+                qubit: 0,
+            },
             FaultParams::shift(0.0, 0.0),
         );
         assert_eq!(faulty.gate_count(), qc.gate_count() + 1);
@@ -234,7 +265,10 @@ mod tests {
         qc.i(0).measure(0, 0);
         let faulty = inject_fault(
             &qc,
-            InjectionPoint { op_index: 0, qubit: 0 },
+            InjectionPoint {
+                op_index: 0,
+                qubit: 0,
+            },
             FaultParams::shift(PI, 0.0),
         );
         let d = Statevector::from_circuit(&faulty)
@@ -249,7 +283,10 @@ mod tests {
         let qc = bell();
         let faulty = inject_fault(
             &qc,
-            InjectionPoint { op_index: 1, qubit: 1 },
+            InjectionPoint {
+                op_index: 1,
+                qubit: 1,
+            },
             FaultParams::shift(0.0, FRAC_PI_2),
         );
         let a = Statevector::from_circuit(&qc)
@@ -274,7 +311,10 @@ mod tests {
         let qc = bell();
         let faulty = inject_double_fault(
             &qc,
-            InjectionPoint { op_index: 1, qubit: 0 },
+            InjectionPoint {
+                op_index: 1,
+                qubit: 0,
+            },
             FaultParams::shift(PI, PI),
             1,
             FaultParams::shift(FRAC_PI_2, FRAC_PI_4),
@@ -283,8 +323,14 @@ mod tests {
         // Ops: h, cx, U(q0), U(q1), measures.
         match (&faulty.ops()[2], &faulty.ops()[3]) {
             (
-                Op::Gate { gate: Gate::U(t0, ..), qubits: q0 },
-                Op::Gate { gate: Gate::U(t1, ..), qubits: q1 },
+                Op::Gate {
+                    gate: Gate::U(t0, ..),
+                    qubits: q0,
+                },
+                Op::Gate {
+                    gate: Gate::U(t1, ..),
+                    qubits: q1,
+                },
             ) => {
                 assert!((t0 - PI).abs() < 1e-12);
                 assert!((t1 - FRAC_PI_2).abs() < 1e-12);
@@ -301,7 +347,10 @@ mod tests {
         let qc = bell();
         let _ = inject_double_fault(
             &qc,
-            InjectionPoint { op_index: 0, qubit: 0 },
+            InjectionPoint {
+                op_index: 0,
+                qubit: 0,
+            },
             FaultParams::shift(FRAC_PI_4, 0.0),
             1,
             FaultParams::shift(PI, 0.0),
@@ -314,7 +363,10 @@ mod tests {
         let qc = bell();
         let _ = inject_double_fault(
             &qc,
-            InjectionPoint { op_index: 0, qubit: 0 },
+            InjectionPoint {
+                op_index: 0,
+                qubit: 0,
+            },
             FaultParams::shift(PI, 0.0),
             0,
             FaultParams::shift(0.0, 0.0),

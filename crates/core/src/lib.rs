@@ -63,7 +63,10 @@ pub mod report;
 pub mod serialize;
 pub mod sweep;
 
-pub use campaign::{golden_outputs, CampaignOptions, CampaignResult, InjectionRecord};
+pub use campaign::{
+    golden_outputs, run_point_sweep, run_single_campaign, CampaignOptions, CampaignResult,
+    InjectionRecord,
+};
 pub use double::{DoubleCampaignResult, DoubleInjectionRecord, DoubleOptions};
 pub use error::ExecError;
 pub use executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
@@ -76,7 +79,9 @@ pub use metrics::{michelson_contrast, qvf, qvf_from_dist, Severity};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::campaign::{golden_outputs, run_single_campaign, CampaignOptions};
+    pub use crate::campaign::{
+        golden_outputs, run_point_sweep, run_single_campaign, CampaignOptions,
+    };
     pub use crate::double::{run_double_campaign, DoubleOptions};
     pub use crate::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
     pub use crate::fault::{

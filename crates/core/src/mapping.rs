@@ -82,10 +82,7 @@ pub fn physical_quality(cal: &BackendCalibration) -> Vec<(usize, f64)> {
 /// # Panics
 ///
 /// Panics if the device is smaller than the campaign's qubit count.
-pub fn reliability_aware_layout(
-    campaign: &CampaignResult,
-    cal: &BackendCalibration,
-) -> Layout {
+pub fn reliability_aware_layout(campaign: &CampaignResult, cal: &BackendCalibration) -> Layout {
     let ranking = qubit_reliability(campaign);
     let n = ranking.len();
     let cm = CouplingMap::from_edges(cal.num_qubits(), cal.coupling());

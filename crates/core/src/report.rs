@@ -25,7 +25,10 @@ impl Heatmap {
     /// Builds a heatmap from `(θ, φ, qvf)` samples on the given grid.
     /// Samples not matching a lattice point (within 1e-6 — loose enough to
     /// absorb CSV round-tripping) are ignored.
-    pub fn from_samples<I: IntoIterator<Item = (f64, f64, f64)>>(grid: &FaultGrid, samples: I) -> Self {
+    pub fn from_samples<I: IntoIterator<Item = (f64, f64, f64)>>(
+        grid: &FaultGrid,
+        samples: I,
+    ) -> Self {
         let thetas = grid.thetas.clone();
         let phis = grid.phis.clone();
         let mut sums = vec![0.0; thetas.len() * phis.len()];
@@ -101,7 +104,12 @@ impl Heatmap {
 
     /// Mean over all non-empty cells.
     pub fn mean(&self) -> f64 {
-        let vals: Vec<f64> = self.values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let vals: Vec<f64> = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         crate::metrics::mean(&vals)
     }
 
@@ -264,14 +272,14 @@ impl Histogram {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("bin_low,bin_high,count,density\n");
         let dens = self.density();
-        for i in 0..self.counts.len() {
+        for (i, &den) in dens.iter().enumerate() {
             let _ = writeln!(
                 out,
                 "{:.4},{:.4},{},{:.6}",
                 self.edges[i],
                 self.edges[i + 1],
                 self.counts[i],
-                dens[i]
+                den
             );
         }
         out
@@ -323,11 +331,7 @@ mod tests {
     #[test]
     fn heatmap_averages_cells() {
         let grid = sample_grid();
-        let samples = vec![
-            (0.0, 0.0, 0.2),
-            (0.0, 0.0, 0.4),
-            (PI, PI, 1.0),
-        ];
+        let samples = vec![(0.0, 0.0, 0.2), (0.0, 0.0, 0.4), (PI, PI, 1.0)];
         let hm = Heatmap::from_samples(&grid, samples);
         assert!((hm.value(0, 0) - 0.3).abs() < 1e-12);
         assert_eq!(hm.count(0, 0), 2);
@@ -363,10 +367,8 @@ mod tests {
     #[test]
     fn ascii_uses_severity_glyphs() {
         let grid = sample_grid();
-        let hm = Heatmap::from_samples(
-            &grid,
-            vec![(0.0, 0.0, 0.1), (PI, 0.0, 0.5), (0.0, PI, 0.9)],
-        );
+        let hm =
+            Heatmap::from_samples(&grid, vec![(0.0, 0.0, 0.1), (PI, 0.0, 0.5), (0.0, PI, 0.9)]);
         let art = hm.ascii();
         assert!(art.contains('.'), "masked glyph missing:\n{art}");
         assert!(art.contains('o'), "dubious glyph missing:\n{art}");

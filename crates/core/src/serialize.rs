@@ -5,9 +5,11 @@
 //! without re-executing circuits, and lets external tooling (the paper's
 //! published data is CSV too) consume the results.
 
-use crate::campaign::InjectionRecord;
+use crate::campaign::{CampaignResult, InjectionRecord};
 use crate::double::DoubleInjectionRecord;
 use crate::fault::InjectionPoint;
+use crate::metrics::Severity;
+use crate::report::Heatmap;
 use core::fmt;
 
 /// A CSV parsing failure with its 1-based line number.
@@ -130,7 +132,128 @@ pub fn double_records_from_csv(text: &str) -> Result<Vec<DoubleInjectionRecord>,
     Ok(out)
 }
 
+/// Minimal JSON writers. serde is not available offline (see
+/// `vendor/README.md`), so machine-readable artifacts are emitted by
+/// hand; the format is plain enough for any consumer.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// Escapes and quotes a string per RFC 8259.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Renders a float: shortest round-trip form, `null` for NaN/∞
+    /// (which JSON cannot represent).
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            let mut s = format!("{v}");
+            // Rust renders whole floats as "1"; keep them typed as floats.
+            if !s.contains('.') && !s.contains('e') {
+                s.push_str(".0");
+            }
+            s
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Renders `[a, b, …]` from rendered items.
+    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+        let mut out = String::from("[");
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&item);
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// One record as a JSON object.
+fn record_to_json(r: &InjectionRecord) -> String {
+    format!(
+        "{{\"op_index\":{},\"qubit\":{},\"theta\":{},\"phi\":{},\"qvf\":{},\"severity\":{}}}",
+        r.point.op_index,
+        r.point.qubit,
+        json::num(r.theta),
+        json::num(r.phi),
+        json::num(r.qvf),
+        json::string(match Severity::classify(r.qvf) {
+            Severity::Masked => "masked",
+            Severity::Dubious => "dubious",
+            Severity::Sdc => "sdc",
+        })
+    )
+}
+
+/// Serializes raw records as a JSON array (the JSON sibling of
+/// [`crate::report::records_to_csv`]).
+pub fn records_to_json(records: &[InjectionRecord]) -> String {
+    json::array(records.iter().map(record_to_json))
+}
+
+/// Serializes a whole campaign — metadata, summary statistics and raw
+/// records — as one JSON document.
+pub fn campaign_to_json(result: &CampaignResult) -> String {
+    let (masked, dubious, sdc) = result.severity_counts();
+    format!(
+        "{{\"circuit\":{},\"golden\":{},\"baseline_qvf\":{},\"mean_qvf\":{},\
+         \"stddev_qvf\":{},\"severity\":{{\"masked\":{masked},\"dubious\":{dubious},\
+         \"sdc\":{sdc}}},\"grid\":{{\"thetas\":{},\"phis\":{}}},\"records\":{}}}",
+        json::string(&result.circuit_name),
+        json::array(result.golden.iter().map(|g| g.to_string())),
+        json::num(result.baseline_qvf),
+        json::num(result.mean_qvf()),
+        json::num(result.stddev_qvf()),
+        json::array(result.grid.thetas.iter().map(|&t| json::num(t))),
+        json::array(result.grid.phis.iter().map(|&p| json::num(p))),
+        records_to_json(&result.records),
+    )
+}
+
+/// Serializes a heatmap — axes plus row-major `[phi][theta]` means and
+/// counts — as JSON (the JSON sibling of [`Heatmap::to_csv`]).
+pub fn heatmap_to_json(hm: &Heatmap) -> String {
+    let mut values = Vec::with_capacity(hm.phis().len() * hm.thetas().len());
+    let mut counts = Vec::with_capacity(values.capacity());
+    for pi in 0..hm.phis().len() {
+        for ti in 0..hm.thetas().len() {
+            values.push(json::num(hm.value(pi, ti)));
+            counts.push(hm.count(pi, ti).to_string());
+        }
+    }
+    format!(
+        "{{\"thetas\":{},\"phis\":{},\"values\":{},\"counts\":{}}}",
+        json::array(hm.thetas().iter().map(|&t| json::num(t))),
+        json::array(hm.phis().iter().map(|&p| json::num(p))),
+        json::array(values),
+        json::array(counts),
+    )
+}
+
 #[cfg(test)]
+// Test fixtures intentionally use 6-decimal values that mimic the CSV
+// output precision; they are not meant to be π.
+#[allow(clippy::approx_constant)]
 mod tests {
     use super::*;
     use crate::report::records_to_csv;
@@ -138,13 +261,19 @@ mod tests {
     fn sample_records() -> Vec<InjectionRecord> {
         vec![
             InjectionRecord {
-                point: InjectionPoint { op_index: 2, qubit: 0 },
+                point: InjectionPoint {
+                    op_index: 2,
+                    qubit: 0,
+                },
                 theta: 0.785398,
                 phi: 3.141593,
                 qvf: 0.42,
             },
             InjectionRecord {
-                point: InjectionPoint { op_index: 5, qubit: 3 },
+                point: InjectionPoint {
+                    op_index: 5,
+                    qubit: 3,
+                },
                 theta: 0.0,
                 phi: 0.261799,
                 qvf: 0.91,
@@ -168,7 +297,10 @@ mod tests {
     #[test]
     fn double_records_roundtrip() {
         let records = vec![DoubleInjectionRecord {
-            point: InjectionPoint { op_index: 1, qubit: 2 },
+            point: InjectionPoint {
+                op_index: 1,
+                qubit: 2,
+            },
             neighbor: 0,
             theta0: 3.141593,
             phi0: 3.141593,
@@ -202,5 +334,57 @@ mod tests {
     fn blank_lines_tolerated() {
         let csv = records_to_csv(&sample_records()) + "\n\n";
         assert_eq!(records_from_csv(&csv).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_records_carry_all_fields() {
+        let j = records_to_json(&sample_records());
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"op_index\":2"));
+        assert!(j.contains("\"qvf\":0.42"));
+        assert!(j.contains("\"severity\":\"masked\""));
+        assert!(j.contains("\"severity\":\"sdc\""));
+    }
+
+    #[test]
+    fn json_campaign_document_is_complete() {
+        use crate::campaign::CampaignResult;
+        use crate::fault::FaultGrid;
+        let result = CampaignResult::from_parts(
+            "bv-4",
+            vec![5],
+            0.1,
+            FaultGrid::custom(vec![0.0], vec![0.0, 3.141593]),
+            sample_records(),
+        );
+        let j = campaign_to_json(&result);
+        for key in [
+            "\"circuit\":\"bv-4\"",
+            "\"golden\":[5]",
+            "\"baseline_qvf\":0.1",
+            "\"mean_qvf\":",
+            "\"severity\":{\"masked\":1",
+            "\"thetas\":[0.0]",
+            "\"records\":[",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn json_heatmap_uses_null_for_empty_cells() {
+        use crate::fault::FaultGrid;
+        let grid = FaultGrid::custom(vec![0.0, 1.0], vec![0.0]);
+        let hm = Heatmap::from_samples(&grid, vec![(0.0, 0.0, 0.5)]);
+        let j = heatmap_to_json(&hm);
+        assert!(j.contains("\"values\":[0.5,null]"), "{j}");
+        assert!(j.contains("\"counts\":[1,0]"), "{j}");
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json::string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json::num(f64::NAN), "null");
+        assert_eq!(json::num(2.0), "2.0");
     }
 }

@@ -89,8 +89,14 @@ mod tests {
         let opts = CampaignOptions {
             grid: FaultGrid::custom(vec![0.0, PI / 2.0, PI], vec![0.0, PI]),
             points: Some(vec![
-                InjectionPoint { op_index: 2, qubit: 0 },
-                InjectionPoint { op_index: 3, qubit: 1 },
+                InjectionPoint {
+                    op_index: 2,
+                    qubit: 0,
+                },
+                InjectionPoint {
+                    op_index: 3,
+                    qubit: 1,
+                },
             ]),
             threads: 0,
         };

@@ -184,7 +184,7 @@ mod tests {
         let g = AngleGrid::qufi_theta();
         let vals = g.values_up_to(deg(45.0));
         assert_eq!(vals.len(), 4); // 0, 15, 30, 45 degrees
-        // Limit exactly on a grid point is included.
+                                   // Limit exactly on a grid point is included.
         assert!((vals[3] - deg(45.0)).abs() < 1e-12);
     }
 

@@ -169,6 +169,8 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division *is* multiplication by the reciprocal here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()

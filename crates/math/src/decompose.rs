@@ -58,7 +58,11 @@ impl ZyzAngles {
 /// assert!(angles.to_matrix().approx_eq(&u, 1e-10));
 /// ```
 pub fn zyz_decompose(u: &CMatrix) -> ZyzAngles {
-    assert_eq!((u.rows(), u.cols()), (2, 2), "zyz_decompose needs 2x2 input");
+    assert_eq!(
+        (u.rows(), u.cols()),
+        (2, 2),
+        "zyz_decompose needs 2x2 input"
+    );
     assert!(u.is_unitary(1e-6), "zyz_decompose needs a unitary matrix");
 
     // Remove the global phase: det(U) = e^{2iα} for U = e^{iα}·SU(2).

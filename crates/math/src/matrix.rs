@@ -579,12 +579,7 @@ mod tests {
     fn cnot_action_on_basis() {
         let cx = CMatrix::cnot();
         // |10> -> |11>
-        let v = vec![
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ONE,
-            Complex::ZERO,
-        ];
+        let v = vec![Complex::ZERO, Complex::ZERO, Complex::ONE, Complex::ZERO];
         let out = cx.matvec(&v);
         assert!(out[3].approx_eq(Complex::ONE, 1e-15));
     }

@@ -90,10 +90,34 @@ fn qubit(t1_us: f64, t2_us: f64, err_1q: f64, p01: f64, p10: f64) -> QubitCalibr
     }
 }
 
+/// Short names of the built-in synthetic calibrations, resolvable by
+/// [`BackendCalibration::named`] — the catalogue behind `qufi list
+/// backends` and campaign-manifest `backends = [...]` entries.
+pub const BUILTIN_BACKENDS: &[&str] = &["jakarta", "casablanca", "lima", "bogota"];
+
 impl BackendCalibration {
     /// Number of physical qubits.
     pub fn num_qubits(&self) -> usize {
         self.qubits.len()
+    }
+
+    /// Resolves a built-in calibration by name. Accepts the short form
+    /// (`"jakarta"`) and the full device name (`"ibmq_jakarta"`),
+    /// case-insensitively; `None` for anything else.
+    pub fn named(name: &str) -> Option<BackendCalibration> {
+        let key = name.trim().to_ascii_lowercase();
+        match key.strip_prefix("ibmq_").unwrap_or(&key) {
+            "jakarta" => Some(Self::jakarta()),
+            "casablanca" => Some(Self::casablanca()),
+            "lima" => Some(Self::lima()),
+            "bogota" => Some(Self::bogota()),
+            _ => None,
+        }
+    }
+
+    /// The short names [`Self::named`] resolves.
+    pub fn builtin_names() -> &'static [&'static str] {
+        BUILTIN_BACKENDS
     }
 
     /// The undirected coupling edges.
@@ -319,6 +343,21 @@ mod tests {
             assert_eq!(m.num_qubits(), cal.num_qubits());
             assert!(!m.is_ideal());
         }
+    }
+
+    #[test]
+    fn named_resolves_every_builtin_and_rejects_strangers() {
+        for &name in BackendCalibration::builtin_names() {
+            let cal = BackendCalibration::named(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(cal.name.contains(name));
+            // Full device name and odd casing also resolve.
+            assert_eq!(BackendCalibration::named(&cal.name), Some(cal.clone()));
+            assert_eq!(
+                BackendCalibration::named(&name.to_ascii_uppercase()),
+                Some(cal)
+            );
+        }
+        assert_eq!(BackendCalibration::named("ibmq_nowhere"), None);
     }
 
     #[test]

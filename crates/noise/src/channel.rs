@@ -34,7 +34,10 @@ impl KrausChannel {
     pub fn from_kraus(ops: Vec<CMatrix>) -> Self {
         assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
         let dim = ops[0].rows();
-        assert!(dim.is_power_of_two(), "Kraus dimension must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "Kraus dimension must be a power of two"
+        );
         for k in &ops {
             assert_eq!((k.rows(), k.cols()), (dim, dim), "Kraus shape mismatch");
         }
@@ -325,11 +328,7 @@ mod tests {
             KrausChannel::thermal_relaxation(1.0, 1.0, 0.0).kraus_operators(),
             &[0],
         );
-        assert!(a
-            .probabilities()
-            .tv_distance(&before.probabilities())
-            .abs()
-            < 1e-12);
+        assert!(a.probabilities().tv_distance(&before.probabilities()).abs() < 1e-12);
         assert!((a.purity() - 1.0).abs() < 1e-10);
     }
 
@@ -359,7 +358,7 @@ mod tests {
         let mut rho = DensityMatrix::new(1).unwrap();
         rho.apply_gate(qufi_sim::Gate::X, &[0]);
         rho.apply_kraus(ch.kraus_operators(), &[0]);
-        let expect = (-t / t1 as f64).exp();
+        let expect = (-t / t1).exp();
         assert!((rho.probabilities().prob(1) - expect).abs() < 1e-9);
     }
 
@@ -372,7 +371,7 @@ mod tests {
         rho.apply_gate(qufi_sim::Gate::H, &[0]);
         rho.apply_kraus(ch.kraus_operators(), &[0]);
         let coherence = rho.entry(0, 1).norm();
-        let expect = 0.5 * (-t / t2 as f64).exp();
+        let expect = 0.5 * (-t / t2).exp();
         assert!(
             (coherence - expect).abs() < 1e-9,
             "coherence {coherence} vs {expect}"

@@ -77,10 +77,8 @@ impl CoherentError {
                                 out.rz(self.phase_drift_z, qubits[0]);
                             }
                         }
-                        2 => {
-                            if self.two_qubit_phase != 0.0 {
-                                out.cp(self.two_qubit_phase, qubits[0], qubits[1]);
-                            }
+                        2 if self.two_qubit_phase != 0.0 => {
+                            out.cp(self.two_qubit_phase, qubits[0], qubits[1]);
                         }
                         _ => {}
                     }

@@ -44,7 +44,7 @@ pub mod model;
 pub mod readout;
 pub mod simulate;
 
-pub use backend::{BackendCalibration, GateTimes, QubitCalibration};
+pub use backend::{BackendCalibration, GateTimes, QubitCalibration, BUILTIN_BACKENDS};
 pub use channel::KrausChannel;
 pub use coherent::CoherentError;
 pub use mitigation::mitigate_readout;

@@ -18,7 +18,7 @@ fn arb_channel() -> impl Strategy<Value = KrausChannel> {
         arb_prob().prop_map(KrausChannel::phase_damping),
         ((1e-6f64..1e-3), (0.1f64..2.0), (0.0f64..1e-4)).prop_map(|(t1, ratio, time)| {
             // T2 = ratio·2·T1 with ratio ≤ 1 keeps the channel physical.
-            KrausChannel::thermal_relaxation(t1, 2.0 * t1 * ratio.min(1.0).max(0.05), time)
+            KrausChannel::thermal_relaxation(t1, 2.0 * t1 * ratio.clamp(0.05, 1.0), time)
         }),
         (arb_prob(), arb_prob(), arb_prob()).prop_map(|(a, b, c)| {
             let total = (a + b + c).max(1e-12);

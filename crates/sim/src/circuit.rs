@@ -392,8 +392,14 @@ impl QuantumCircuit {
     ///
     /// Panics if `other` uses more qubits or clbits than `self` has.
     pub fn compose(&mut self, other: &QuantumCircuit) -> &mut Self {
-        assert!(other.num_qubits <= self.num_qubits, "compose: width mismatch");
-        assert!(other.num_clbits <= self.num_clbits, "compose: clbit mismatch");
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "compose: width mismatch"
+        );
+        assert!(
+            other.num_clbits <= self.num_clbits,
+            "compose: clbit mismatch"
+        );
         self.ops.extend(other.ops.iter().cloned());
         self
     }

@@ -158,7 +158,7 @@ impl ProbDist {
             if excluded.contains(&i) {
                 continue;
             }
-            if best.map_or(true, |(_, bp)| p > bp) {
+            if best.is_none_or(|(_, bp)| p > bp) {
                 best = Some((i, p));
             }
         }

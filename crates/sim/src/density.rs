@@ -199,10 +199,7 @@ impl DensityMatrix {
 
     /// Born-rule probabilities over all qubits: the diagonal of `ρ`.
     pub fn probabilities(&self) -> ProbDist {
-        ProbDist::from_probs(
-            (0..self.dim).map(|i| self.entry(i, i).re).collect(),
-            self.n,
-        )
+        ProbDist::from_probs((0..self.dim).map(|i| self.entry(i, i).re).collect(), self.n)
     }
 
     /// Distribution over classical bits after measurement (marginalized
@@ -271,7 +268,12 @@ mod tests {
     #[test]
     fn pure_evolution_matches_statevector() {
         let mut qc = QuantumCircuit::new(3, 0);
-        qc.h(0).cx(0, 1).t(1).ry(0.7, 2).cx(1, 2).u(0.3, 1.1, 2.2, 0);
+        qc.h(0)
+            .cx(0, 1)
+            .t(1)
+            .ry(0.7, 2)
+            .cx(1, 2)
+            .u(0.3, 1.1, 2.2, 0);
         let sv = Statevector::from_circuit(&qc).unwrap();
         let mut rho = DensityMatrix::new(3).unwrap();
         rho.run_circuit(&qc);

@@ -56,13 +56,16 @@ pub fn draw(qc: &QuantumCircuit) -> String {
     // Next free column per qubit.
     let mut free = vec![0usize; n];
 
-    let place = |grid: &mut Vec<Vec<Cell>>, free: &mut Vec<usize>, wires: &[usize], cells: Vec<(usize, Cell)>| {
+    let place = |grid: &mut Vec<Vec<Cell>>,
+                 free: &mut Vec<usize>,
+                 wires: &[usize],
+                 cells: Vec<(usize, Cell)>| {
         let lo = *wires.iter().min().expect("nonempty");
         let hi = *wires.iter().max().expect("nonempty");
         let col = (lo..=hi).map(|q| free[q]).max().unwrap_or(0);
-        for q in 0..n {
-            while grid[q].len() < col {
-                grid[q].push(Cell::Wire);
+        for row in grid.iter_mut() {
+            while row.len() < col {
+                row.push(Cell::Wire);
             }
         }
         for q in lo..=hi {
@@ -230,7 +233,10 @@ mod tests {
         qc.cx(0, 2);
         let art = draw(&qc);
         let lines: Vec<&str> = art.lines().collect();
-        assert!(lines[1].contains('┼'), "middle wire missing connector:\n{art}");
+        assert!(
+            lines[1].contains('┼'),
+            "middle wire missing connector:\n{art}"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl fmt::Display for SimError {
                 write!(f, "duplicate qubit {qubit} in multi-qubit gate")
             }
             SimError::TooManyQubits { requested, max } => {
-                write!(f, "{requested} qubits requested, simulator supports at most {max}")
+                write!(
+                    f,
+                    "{requested} qubits requested, simulator supports at most {max}"
+                )
             }
             SimError::NoMeasurements => write!(f, "circuit has no measurements"),
             SimError::QasmParse { line, reason } => {

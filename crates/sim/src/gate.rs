@@ -323,7 +323,10 @@ mod tests {
             if g.is_self_inverse() {
                 let sq = g.matrix().matmul(&g.matrix());
                 let n = sq.rows();
-                assert!(sq.approx_eq(&CMatrix::identity(n), 1e-12), "{g} not self-inverse");
+                assert!(
+                    sq.approx_eq(&CMatrix::identity(n), 1e-12),
+                    "{g} not self-inverse"
+                );
             }
         }
     }

@@ -81,7 +81,7 @@ impl PauliString {
                 Pauli::Y => {
                     out ^= 1 << q;
                     // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
-                    phase = phase * if bit == 0 { Complex::I } else { -Complex::I };
+                    phase *= if bit == 0 { Complex::I } else { -Complex::I };
                 }
                 Pauli::Z => {
                     if bit == 1 {
@@ -144,11 +144,7 @@ impl FromStr for PauliString {
                 'X' => Pauli::X,
                 'Y' => Pauli::Y,
                 'Z' => Pauli::Z,
-                other => {
-                    return Err(SimError::Unsupported(format!(
-                        "pauli character {other:?}"
-                    )))
-                }
+                other => return Err(SimError::Unsupported(format!("pauli character {other:?}"))),
             });
         }
         Ok(PauliString { factors })

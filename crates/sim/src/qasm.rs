@@ -367,7 +367,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "// header comment\nOPENQASM 2.0;\n\nqreg q[2]; // inline\nh q[0]; cx q[0],q[1];\n";
+        let text =
+            "// header comment\nOPENQASM 2.0;\n\nqreg q[2]; // inline\nh q[0]; cx q[0],q[1];\n";
         let qc = from_qasm(text).unwrap();
         assert_eq!(qc.gate_count(), 2);
     }

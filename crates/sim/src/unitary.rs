@@ -62,7 +62,11 @@ pub fn circuit_unitary(qc: &QuantumCircuit) -> Result<CMatrix, SimError> {
 /// # Errors
 ///
 /// Propagates width-limit errors; width mismatch returns `Ok(false)`.
-pub fn circuits_equivalent(a: &QuantumCircuit, b: &QuantumCircuit, tol: f64) -> Result<bool, SimError> {
+pub fn circuits_equivalent(
+    a: &QuantumCircuit,
+    b: &QuantumCircuit,
+    tol: f64,
+) -> Result<bool, SimError> {
     if a.num_qubits() != b.num_qubits() {
         return Ok(false);
     }

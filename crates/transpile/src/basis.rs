@@ -303,9 +303,7 @@ mod tests {
         let mut qc = QuantumCircuit::new(3, 0);
         qc.ccx(0, 1, 2);
         let decomposed = decompose_ccx(&qc);
-        assert!(
-            circuit_unitary(&decomposed).approx_eq_up_to_phase(&circuit_unitary(&qc), 1e-9)
-        );
+        assert!(circuit_unitary(&decomposed).approx_eq_up_to_phase(&circuit_unitary(&qc), 1e-9));
         // All remaining gates are 1- or 2-qubit.
         for op in decomposed.instructions() {
             if let Op::Gate { gate, .. } = op {

@@ -109,10 +109,10 @@ pub fn route_with(
                                     .ok_or(TranspileError::DisconnectedTopology)?;
                                 // Walk the first operand toward the second
                                 // until the pair is adjacent.
-                                for hop in 1..path.len() - 1 {
-                                    out.append(qufi_sim::Gate::Swap, &[p0, path[hop]]);
-                                    layout.swap_physical(p0, path[hop]);
-                                    p0 = path[hop];
+                                for &hop in &path[1..path.len() - 1] {
+                                    out.append(qufi_sim::Gate::Swap, &[p0, hop]);
+                                    layout.swap_physical(p0, hop);
+                                    p0 = hop;
                                 }
                             }
                         }
@@ -343,8 +343,13 @@ mod tests {
         let cm = CouplingMap::line(5);
         let mut qc = QuantumCircuit::new(5, 0);
         qc.cx(0, 4).cx(0, 4).cx(0, 4);
-        let greedy = route_with(&qc, &cm, Layout::trivial(5, 5), RoutingStrategy::ShortestPath)
-            .unwrap();
+        let greedy = route_with(
+            &qc,
+            &cm,
+            Layout::trivial(5, 5),
+            RoutingStrategy::ShortestPath,
+        )
+        .unwrap();
         let smart = route_with(
             &qc,
             &cm,
@@ -359,8 +364,12 @@ mod tests {
             greedy.swaps_inserted
         );
         // Both stay correct.
-        let a = Statevector::from_circuit(&greedy.circuit).unwrap().probabilities();
-        let b = Statevector::from_circuit(&smart.circuit).unwrap().probabilities();
+        let a = Statevector::from_circuit(&greedy.circuit)
+            .unwrap()
+            .probabilities();
+        let b = Statevector::from_circuit(&smart.circuit)
+            .unwrap()
+            .probabilities();
         assert!(a.tv_distance(&b) < 1e-9);
     }
 

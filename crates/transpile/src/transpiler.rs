@@ -227,12 +227,7 @@ mod tests {
     #[test]
     fn all_levels_preserve_semantics_on_h7() {
         let qc = bv3();
-        for level in [
-            Level::Level0,
-            Level::Level1,
-            Level::Level2,
-            Level::Level3,
-        ] {
+        for level in [Level::Level0, Level::Level1, Level::Level2, Level::Level3] {
             let t = Transpiler::new(CouplingMap::ibm_h7(), level);
             let result = t.run(&qc).unwrap();
             check_equivalence(&qc, &result);

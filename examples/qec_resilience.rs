@@ -59,7 +59,10 @@ fn main() {
     let ex = IdealExecutor; // isolate the fault effect from device noise
     let rows = [
         ("code, |1_L⟩", campaign_on_window(&bit_flip_code(true), &ex)),
-        ("code, |+_L⟩", campaign_on_window(&superposed_bit_flip_code(), &ex)),
+        (
+            "code, |+_L⟩",
+            campaign_on_window(&superposed_bit_flip_code(), &ex),
+        ),
         ("unprotected", campaign_on_window(&unprotected(true), &ex)),
     ];
 

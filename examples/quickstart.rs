@@ -45,7 +45,13 @@ fn main() -> Result<(), ExecError> {
     let golden = golden_outputs(&w.circuit)?;
     let qvf_clean = qvf_from_dist(&clean, &golden);
     let qvf_faulty = qvf_from_dist(&faulty, &golden);
-    println!("QVF fault-free: {qvf_clean:.4} ({:?})", Severity::classify(qvf_clean));
-    println!("QVF faulty:     {qvf_faulty:.4} ({:?})", Severity::classify(qvf_faulty));
+    println!(
+        "QVF fault-free: {qvf_clean:.4} ({:?})",
+        Severity::classify(qvf_clean)
+    );
+    println!(
+        "QVF faulty:     {qvf_faulty:.4} ({:?})",
+        Severity::classify(qvf_faulty)
+    );
     Ok(())
 }

@@ -14,6 +14,10 @@
 //! * [`core`] — the fault injector itself: fault model, QVF, campaigns
 //!   ([`qufi_core`]).
 //!
+//! Batch orchestration (run manifests, checkpointed campaigns, artifact
+//! export) lives in the separate `qufi-cli` crate, which drives this
+//! stack through the `qufi` binary.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -9,11 +9,7 @@ use qufi::core::serialize;
 use qufi::noise::mitigation;
 use qufi::prelude::*;
 
-fn coarse_campaign(
-    qc: &QuantumCircuit,
-    golden: &[usize],
-    ex: &impl Executor,
-) -> CampaignResult {
+fn coarse_campaign(qc: &QuantumCircuit, golden: &[usize], ex: &impl Executor) -> CampaignResult {
     run_single_campaign(qc, golden, ex, &CampaignOptions::coarse()).expect("campaign")
 }
 
@@ -81,10 +77,8 @@ fn readout_mitigation_lowers_baseline_qvf() {
     // physical seats — apply the logical qubits' confusion matrices.
     // For this test use a synthetic uniform readout error on all clbits.
     let ro = qufi::noise::ReadoutError::new(0.03, 0.05);
-    let confused = qufi::noise::readout::apply_readout_errors(
-        &raw,
-        &vec![Some(ro); raw.num_bits()],
-    );
+    let confused =
+        qufi::noise::readout::apply_readout_errors(&raw, &vec![Some(ro); raw.num_bits()]);
     let mitigated = mitigation::mitigate_readout(&confused, &vec![Some(ro); raw.num_bits()])
         .expect("invertible");
     let golden = &w.correct_outputs;
@@ -176,10 +170,7 @@ fn campaign_records_roundtrip_through_csv() {
     assert_eq!(back.len(), res.records.len());
     // Heatmaps built from reloaded records match the originals.
     let hm_orig = Heatmap::from_campaign(&res);
-    let hm_back = Heatmap::from_samples(
-        &res.grid,
-        back.iter().map(|r| (r.theta, r.phi, r.qvf)),
-    );
+    let hm_back = Heatmap::from_samples(&res.grid, back.iter().map(|r| (r.theta, r.phi, r.qvf)));
     for pi in 0..res.grid.phis.len() {
         for ti in 0..res.grid.thetas.len() {
             let (a, b) = (hm_orig.value(pi, ti), hm_back.value(pi, ti));

@@ -1,0 +1,271 @@
+//! Offline shim for the `criterion` crate: the macro entry points and
+//! the `Criterion`/`BenchmarkGroup`/`Bencher` API the workspace benches
+//! use. Reports wall-clock mean ns/iter on stdout; `--test` (as passed
+//! by `cargo bench -- --test`) runs every benchmark body exactly once as
+//! a smoke test. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured iterations per benchmark in timing mode.
+const MIN_ITERS: u64 = 10;
+/// Wall-clock budget per benchmark in timing mode.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples (builder style, as used in
+    /// `criterion_group!` config expressions).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies command-line arguments: `--test` switches to run-once
+    /// smoke mode; the first free-standing argument filters benchmarks by
+    /// substring. Harness flags (`--bench`, `--quiet`, …) are ignored.
+    pub fn configure_from_args(&mut self) {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--measurement-time" | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                a if a.starts_with("--") => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    fn run_one(&self, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else if bencher.iters > 0 {
+            let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+            println!(
+                "{id:<50} {per_iter:>14.1} ns/iter ({} iters)",
+                bencher.iters
+            );
+        } else {
+            println!("{id:<50} (no measurement)");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim re-runs setup per iteration in all cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark body; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn plan(&self) -> u64 {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size.max(MIN_ITERS as usize) as u64
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let planned = self.plan();
+        if !self.test_mode {
+            black_box(routine()); // warm-up, untimed
+        }
+        let start = Instant::now();
+        let mut done = 0;
+        while done < planned {
+            black_box(routine());
+            done += 1;
+            if !self.test_mode && done >= MIN_ITERS && start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.iters += done;
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let planned = self.plan();
+        if !self.test_mode {
+            black_box(routine(setup())); // warm-up, untimed
+        }
+        let mut done = 0;
+        while done < planned {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            done += 1;
+            if !self.test_mode && done >= MIN_ITERS && self.elapsed > TIME_BUDGET {
+                break;
+            }
+        }
+        self.iters += done;
+    }
+}
+
+/// Declares a benchmark group function (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2) * 2));
+    }
+
+    #[test]
+    fn bench_bodies_run_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        smoke(&mut c);
+    }
+
+    #[test]
+    fn timing_mode_measures() {
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("count", |b| b.iter(|| (0..100).sum::<u64>()));
+    }
+}

@@ -1,0 +1,578 @@
+//! Offline shim for the `proptest` crate: the strategy combinators and
+//! macros the workspace's property tests use, driving randomized (but
+//! per-test deterministic) inputs through test bodies. No shrinking, no
+//! failure persistence — a failing property panics with the failed
+//! assertion and the case number so it can be reproduced (the generator
+//! is seeded from the test name). See `vendor/README.md`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards values failing `f`, resampling (bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Type-erases the strategy for heterogeneous collections.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let candidate = self.inner.new_value(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "prop_filter {:?} rejected 1000 consecutive samples",
+                self.whence
+            );
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn new_value(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union of equally-likely options.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_index(self.options.len());
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range");
+            self.start + rng.gen_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty f64 range");
+            // Stretch slightly past `hi` so the endpoint is reachable.
+            let x = lo + rng.gen_f64() * (hi - lo) * (1.0 + 1e-12);
+            x.min(hi)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.gen_index_u64(span) as $t)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.gen_index_u64(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u8);
+
+    /// Uniformly random `bool` (backs `any::<bool>()`).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.gen_index(2) == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::AnyBool;
+
+    /// Types with a canonical strategy (`any::<T>()`). Only the types the
+    /// workspace samples are implemented.
+    pub trait Arbitrary {
+        /// The canonical strategy type.
+        type Strategy: crate::strategy::Strategy<Value = Self>;
+
+        /// The canonical strategy value.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Nested module mirroring `proptest::prop::...` paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Sizes accepted by [`vec`]: a fixed length or a length range.
+        pub trait SizeRange {
+            /// Draws a concrete length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for core::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                self.start + rng.gen_index(self.end - self.start)
+            }
+        }
+
+        impl SizeRange for core::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                self.start() + rng.gen_index(self.end() - self.start() + 1)
+            }
+        }
+
+        /// Vectors of values from `element`, sized by `size`.
+        pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    /// Per-property configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is not counted.
+        Reject(String),
+        /// `prop_assert!` failed; the property is falsified.
+        Fail(String),
+    }
+
+    /// The generator handed to strategies. Deterministic per property
+    /// name: re-running a failed test reproduces the same cases.
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        fn from_name(name: &str) -> Self {
+            // FNV-1a over the property name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                inner: SmallRng::seed_from_u64(h),
+            }
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn gen_f64(&mut self) -> f64 {
+            self.inner.gen::<f64>()
+        }
+
+        /// Uniform in `[0, bound)`.
+        pub fn gen_index(&mut self, bound: usize) -> usize {
+            self.inner.gen_index(bound)
+        }
+
+        /// Uniform in `[0, bound)` over `u64`.
+        pub fn gen_index_u64(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range");
+            self.inner.gen::<u64>() % bound
+        }
+    }
+
+    /// Drives one property: samples `strategy`, feeds the test body,
+    /// counts successes until `config.cases`, and panics on the first
+    /// falsified case. Rejections (`prop_assume!`) are retried up to
+    /// `cases × 100` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the property is falsified or rejection-starved.
+    pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = config.cases as u64 * 100;
+        let mut case: u64 = 0;
+        while passed < config.cases {
+            case += 1;
+            let value = strategy.new_value(&mut rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "property {name}: too many prop_assume! rejections \
+                         ({rejected} after {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property {name} falsified at case #{case}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Supports the upstream form with an optional
+/// leading `#![proptest_config(...)]` attribute and `pat in strategy`
+/// argument lists.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run_property(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |($($pat,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as $crate::strategy::BoxedStrategy<_>,)+
+        ])
+    };
+}
+
+/// Asserts a property-test condition, failing the case (not the process)
+/// so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// `prop_assert!(a != b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: both sides are {:?}", a);
+    }};
+}
+
+/// Rejects the current case without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn filters_and_assume_work(
+            (a, b) in (0usize..10, 0usize..10).prop_filter("distinct", |(a, b)| a != b),
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(a + b > 0);
+            prop_assert!(a != b);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_maps_and_vecs(
+            v in prop::collection::vec(prop_oneof![Just(1usize), 2usize..5], 3),
+            w in prop::collection::vec(0.0f64..1.0, 1..4),
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(!w.is_empty() && w.len() < 4);
+            for x in v {
+                prop_assert!((1usize..5).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        use crate::test_runner::{run_property, ProptestConfig, TestCaseError};
+        run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            &(0usize..3),
+            |_| Err(TestCaseError::Fail("nope".into())),
+        );
+    }
+}
