@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qufi_algos::bernstein_vazirani;
+use qufi_core::campaign::{golden_outputs, run_point_sweep, run_point_sweep_naive};
 use qufi_core::executor::{Executor, NoisyExecutor};
+use qufi_core::fault::{enumerate_injection_points, FaultGrid};
 use qufi_noise::{simulate, BackendCalibration, KrausChannel};
 use qufi_sim::{DensityMatrix, Gate, Statevector};
 use qufi_transpile::{CouplingMap, OptimizationLevel, Transpiler};
@@ -103,9 +105,36 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Forked-state sweep engine vs the naive per-configuration oracle on the
+/// paper's bv-4/jakarta baseline — the BENCHMARKS.md before/after numbers.
+/// Per-iteration work is one injection point's full grid sweep.
+fn bench_sweep_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(10);
+    let w = bernstein_vazirani(0b101, 3);
+    let golden = golden_outputs(&w.circuit).expect("golden");
+    let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+    // A mid-circuit point: representative prefix/suffix balance.
+    let points = enumerate_injection_points(&w.circuit);
+    let point = points[points.len() / 2];
+
+    for (label, grid) in [
+        ("coarse", FaultGrid::coarse()),
+        ("paper312", FaultGrid::paper()),
+    ] {
+        group.bench_function(format!("forked_point_sweep_bv4_{label}"), |b| {
+            b.iter(|| run_point_sweep(&w.circuit, &golden, &ex, point, &grid).expect("sweep"))
+        });
+        group.bench_function(format!("naive_point_sweep_bv4_{label}"), |b| {
+            b.iter(|| run_point_sweep_naive(&w.circuit, &golden, &ex, point, &grid).expect("sweep"))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_statevector, bench_density, bench_pipeline
+    targets = bench_statevector, bench_density, bench_pipeline, bench_sweep_engine
 }
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 use qufi_algos::{paper_workloads, scaling_family, Workload};
 use qufi_core::campaign::{run_single_campaign, CampaignOptions, CampaignResult};
 use qufi_core::double::{neighbor_pairs, run_double_campaign, DoubleCampaignResult, DoubleOptions};
+use qufi_core::engine::SweepExecutor;
 use qufi_core::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
 use qufi_core::fault::{enumerate_injection_points, inject_fault, FaultGrid, FaultParams};
 use qufi_core::metrics::{mean, qvf_from_dist, stddev};
@@ -31,7 +32,8 @@ pub fn fig4_worked_example() -> String {
         .into_iter()
         .find(|p| p.qubit == 0)
         .expect("q0 has gates");
-    let faulty_qc = inject_fault(&w.circuit, point, FaultParams::shift(PI / 4.0, 0.0));
+    let faulty_qc =
+        inject_fault(&w.circuit, point, FaultParams::shift(PI / 4.0, 0.0)).expect("in range");
     let faulty = ex.execute(&faulty_qc).expect("faulty run");
 
     let mut out = String::new();
@@ -59,7 +61,7 @@ pub fn fig4_worked_example() -> String {
 /// injection over the full (φ, θ) grid.
 pub fn fig5_heatmaps(
     grid: &FaultGrid,
-    executor: &impl Executor,
+    executor: &impl SweepExecutor,
 ) -> Vec<(Workload, CampaignResult, Heatmap)> {
     paper_workloads(4)
         .into_iter()
@@ -68,6 +70,7 @@ pub fn fig5_heatmaps(
                 grid: grid.clone(),
                 points: None,
                 threads: 0,
+                naive: false,
             };
             let res = run_single_campaign(&w.circuit, &w.correct_outputs, executor, &opts)
                 .expect("campaign");
@@ -80,13 +83,14 @@ pub fn fig5_heatmaps(
 /// Fig. 6 — per-qubit QVF heatmaps for the 4-qubit QFT.
 pub fn fig6_per_qubit(
     grid: &FaultGrid,
-    executor: &impl Executor,
+    executor: &impl SweepExecutor,
 ) -> (CampaignResult, Vec<(usize, Heatmap)>) {
     let w = &paper_workloads(4)[2]; // qft-4
     let opts = CampaignOptions {
         grid: grid.clone(),
         points: None,
         threads: 0,
+        naive: false,
     };
     let res =
         run_single_campaign(&w.circuit, &w.correct_outputs, executor, &opts).expect("campaign");
@@ -117,7 +121,7 @@ pub struct ScalingPoint {
 /// to `max_qubits` qubits.
 pub fn fig7_scaling(
     grid: &FaultGrid,
-    executor: &impl Executor,
+    executor: &impl SweepExecutor,
     max_qubits: usize,
 ) -> Vec<(String, Vec<ScalingPoint>)> {
     ["bv", "dj", "qft"]
@@ -130,6 +134,7 @@ pub fn fig7_scaling(
                         grid: grid.clone(),
                         points: None,
                         threads: 0,
+                        naive: false,
                     };
                     let res = run_single_campaign(&w.circuit, &w.correct_outputs, executor, &opts)
                         .expect("campaign");
@@ -172,6 +177,7 @@ pub fn fig8_double(grid: &FaultGrid, executor: &NoisyExecutor) -> Fig8Output {
         grid: grid.clone(),
         points: None,
         threads: 0,
+        naive: false,
     };
     let single = run_single_campaign(&w.circuit, &w.correct_outputs, executor, &single_opts)
         .expect("single campaign");
@@ -183,6 +189,7 @@ pub fn fig8_double(grid: &FaultGrid, executor: &NoisyExecutor) -> Fig8Output {
         points: None,
         pairs,
         threads: 0,
+        naive: false,
     };
     let double = run_double_campaign(&w.circuit, &w.correct_outputs, executor, &double_opts)
         .expect("double campaign");
@@ -258,11 +265,12 @@ pub fn fig11_hardware(seed: u64) -> Vec<Fig11Row> {
         .map(|(name, gate)| {
             let (theta, phi) = gate.as_fault_shift().expect("gate has a fault shift");
             let grid = FaultGrid::custom(vec![theta], vec![phi]);
-            let run = |ex: &dyn Executor| -> f64 {
+            let run = |ex: &dyn SweepExecutor| -> f64 {
                 let opts = CampaignOptions {
                     grid: grid.clone(),
                     points: None,
                     threads: 1,
+                    naive: false,
                 };
                 run_single_campaign(&w.circuit, &w.correct_outputs, &ex, &opts)
                     .expect("campaign")

@@ -108,20 +108,15 @@ pub struct JobRuntime {
 }
 
 /// FNV-1a over the campaign seed and a point identity — the per-point
-/// seed for hardware-scenario executors.
+/// seed for hardware-scenario executors (the shared
+/// [`qufi_core::engine::SeedHasher`] construction).
 fn derive_seed(campaign_seed: u64, job_id: &str, op_index: usize, qubit: usize) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-    };
-    mix(&campaign_seed.to_le_bytes());
-    mix(job_id.as_bytes());
-    mix(&(op_index as u64).to_le_bytes());
-    mix(&(qubit as u64).to_le_bytes());
-    h
+    qufi_core::engine::SeedHasher::new()
+        .mix_u64(campaign_seed)
+        .mix_bytes(job_id.as_bytes())
+        .mix_u64(op_index as u64)
+        .mix_u64(qubit as u64)
+        .finish()
 }
 
 /// Sentinel point identity for a job's fault-free baseline execution.

@@ -4,12 +4,18 @@
 //! on each operand qubit) across the φ/θ fault grid, executes each faulty
 //! circuit, and records the QVF. Points are independent, so the work is
 //! distributed over a thread pool fed by a `crossbeam` channel.
+//!
+//! Execution goes through the forked-state sweep engine
+//! ([`crate::engine`]): each point transpiles and evolves its circuit
+//! prefix **once**, then replays all grid configurations from a state
+//! snapshot. The pre-engine per-configuration pipeline survives behind
+//! [`CampaignOptions::naive`] as the oracle the differential test suite
+//! compares against.
 
+use crate::engine::SweepExecutor;
 use crate::error::ExecError;
 use crate::executor::{Executor, IdealExecutor};
-use crate::fault::{
-    enumerate_injection_points, inject_fault, FaultGrid, FaultParams, InjectionPoint,
-};
+use crate::fault::{enumerate_injection_points, FaultGrid, FaultParams, InjectionPoint};
 use crate::metrics::{mean, qvf_from_dist, stddev, Severity};
 use parking_lot::Mutex;
 use qufi_sim::QuantumCircuit;
@@ -37,6 +43,11 @@ pub struct CampaignOptions {
     pub points: Option<Vec<InjectionPoint>>,
     /// Worker threads (`0` = all available cores).
     pub threads: usize,
+    /// Run every configuration through the naive per-configuration
+    /// pipeline (full rebuild + re-transpile + re-simulate) instead of the
+    /// forked-state fast path. Slow; kept as the test oracle — results are
+    /// bit-identical either way.
+    pub naive: bool,
 }
 
 impl Default for CampaignOptions {
@@ -45,6 +56,7 @@ impl Default for CampaignOptions {
             grid: FaultGrid::paper(),
             points: None,
             threads: 0,
+            naive: false,
         }
     }
 }
@@ -250,25 +262,63 @@ pub fn golden_outputs(qc: &QuantumCircuit) -> Result<Vec<usize>, ExecError> {
 }
 
 /// Executes one scheduling unit of a campaign: every (θ, φ) of `grid`
-/// injected at a single `point`, serially, in grid order. Campaign
-/// drivers (the in-process thread pool here, the `qufi` CLI's
+/// injected at a single `point`, serially, in grid order, through the
+/// forked-state fast path — the point is prepared (transpile + prefix
+/// evolution) once and each configuration replays from the snapshot.
+/// Campaign drivers (the in-process thread pool here, the `qufi` CLI's
 /// checkpointed scheduler) fan these out and merge the records with
 /// [`CampaignResult::merge_records`].
 ///
 /// # Errors
 ///
 /// The first execution error aborts the sweep.
-pub fn run_point_sweep<E: Executor>(
+pub fn run_point_sweep<E: SweepExecutor + ?Sized>(
     qc: &QuantumCircuit,
     golden: &[usize],
     executor: &E,
     point: InjectionPoint,
     grid: &FaultGrid,
 ) -> Result<Vec<InjectionRecord>, ExecError> {
+    point_sweep_impl(qc, golden, executor, point, grid, false)
+}
+
+/// The naive oracle variant of [`run_point_sweep`]: every configuration
+/// rebuilds, re-transpiles and re-simulates the whole faulty circuit.
+/// Bit-identical to the fast path (enforced by the differential suite)
+/// but pays the per-config transpile and prefix evolution the engine
+/// amortizes — ~2–3× slower on the paper's bv-4 baseline (BENCHMARKS.md).
+/// Use it only to cross-check the engine.
+///
+/// # Errors
+///
+/// The first execution error aborts the sweep.
+pub fn run_point_sweep_naive<E: SweepExecutor + ?Sized>(
+    qc: &QuantumCircuit,
+    golden: &[usize],
+    executor: &E,
+    point: InjectionPoint,
+    grid: &FaultGrid,
+) -> Result<Vec<InjectionRecord>, ExecError> {
+    point_sweep_impl(qc, golden, executor, point, grid, true)
+}
+
+fn point_sweep_impl<E: SweepExecutor + ?Sized>(
+    qc: &QuantumCircuit,
+    golden: &[usize],
+    executor: &E,
+    point: InjectionPoint,
+    grid: &FaultGrid,
+    naive: bool,
+) -> Result<Vec<InjectionRecord>, ExecError> {
+    let prepared = executor.prepare(qc, point)?;
     let mut out = Vec::with_capacity(grid.len());
     for (theta, phi) in grid.iter() {
-        let faulty = inject_fault(qc, point, FaultParams::shift(theta, phi));
-        let dist = executor.execute(&faulty)?;
+        let fault = FaultParams::shift(theta, phi);
+        let dist = if naive {
+            prepared.replay_naive(fault)?
+        } else {
+            prepared.replay(fault)?
+        };
         out.push(InjectionRecord {
             point,
             theta,
@@ -288,7 +338,7 @@ pub fn run_point_sweep<E: Executor>(
 /// # Errors
 ///
 /// The first execution error aborts the campaign.
-pub fn run_single_campaign<E: Executor>(
+pub fn run_single_campaign<E: SweepExecutor>(
     qc: &QuantumCircuit,
     golden: &[usize],
     executor: &E,
@@ -324,7 +374,7 @@ pub fn run_single_campaign<E: Executor>(
                     if first_error.lock().is_some() {
                         return;
                     }
-                    match run_point_sweep(qc, golden, executor, point, grid) {
+                    match point_sweep_impl(qc, golden, executor, point, grid, options.naive) {
                         Ok(records) => local.extend(records),
                         Err(e) => {
                             first_error.lock().get_or_insert(e);
@@ -372,6 +422,7 @@ mod tests {
             grid: FaultGrid::custom(vec![0.0], vec![0.0]),
             points: None,
             threads: 2,
+            naive: false,
         };
         let res =
             run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
@@ -393,6 +444,7 @@ mod tests {
             grid: FaultGrid::custom(vec![PI], vec![0.0]),
             points: None,
             threads: 0,
+            naive: false,
         };
         let res =
             run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
@@ -408,6 +460,7 @@ mod tests {
             grid: FaultGrid::coarse(),
             points: None,
             threads: 3,
+            naive: false,
         };
         let res =
             run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
@@ -428,6 +481,7 @@ mod tests {
             grid: FaultGrid::coarse(),
             points: None,
             threads,
+            naive: false,
         };
         let a =
             run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &mk(1)).unwrap();
@@ -447,6 +501,7 @@ mod tests {
                 qubit: 0,
             }]),
             threads: 0,
+            naive: false,
         };
         let res = run_single_campaign(&w.circuit, &w.correct_outputs, &ex, &opts).unwrap();
         // "A fault-free execution … its color is not solid green (QVF > 0)
@@ -469,6 +524,7 @@ mod tests {
             grid: FaultGrid::coarse(),
             points: None,
             threads: 1,
+            naive: false,
         };
         let whole =
             run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();
@@ -504,6 +560,7 @@ mod tests {
             grid: FaultGrid::coarse(),
             points: None,
             threads: 0,
+            naive: false,
         };
         let res =
             run_single_campaign(&w.circuit, &w.correct_outputs, &IdealExecutor, &opts).unwrap();

@@ -6,11 +6,9 @@
 //! qubit **physically adjacent** to the first after transpilation — the
 //! candidate pairs come from [`neighbor_pairs`].
 
+use crate::engine::SweepExecutor;
 use crate::error::ExecError;
-use crate::executor::Executor;
-use crate::fault::{
-    enumerate_injection_points, inject_double_fault, FaultGrid, FaultParams, InjectionPoint,
-};
+use crate::fault::{enumerate_injection_points, FaultGrid, FaultParams, InjectionPoint};
 use crate::metrics::{mean, qvf_from_dist, stddev};
 use parking_lot::Mutex;
 use qufi_sim::QuantumCircuit;
@@ -48,6 +46,10 @@ pub struct DoubleOptions {
     pub pairs: Vec<(usize, usize)>,
     /// Worker threads (`0` = all cores).
     pub threads: usize,
+    /// Use the naive per-configuration oracle path instead of the
+    /// forked-state fast path (see
+    /// [`CampaignOptions::naive`](crate::campaign::CampaignOptions::naive)).
+    pub naive: bool,
 }
 
 impl DoubleOptions {
@@ -59,6 +61,7 @@ impl DoubleOptions {
             points: None,
             pairs,
             threads: 0,
+            naive: false,
         }
     }
 
@@ -69,6 +72,7 @@ impl DoubleOptions {
             points: None,
             pairs,
             threads: 0,
+            naive: false,
         }
     }
 }
@@ -139,12 +143,14 @@ pub fn neighbor_pairs(
 
 /// Runs a double-fault campaign: first fault on each injection point whose
 /// qubit belongs to a pair, second fault on the paired neighbour, sweeping
-/// `θ1 ≤ θ0`, `φ1 ≤ φ0` on the same angle lattice.
+/// `θ1 ≤ θ0`, `φ1 ≤ φ0` on the same angle lattice. Each (point, neighbor)
+/// item is prepared once through the forked-state engine; the quadratic
+/// fault lattice replays from the snapshot.
 ///
 /// # Errors
 ///
 /// The first execution error aborts the campaign.
-pub fn run_double_campaign<E: Executor>(
+pub fn run_double_campaign<E: SweepExecutor>(
     qc: &QuantumCircuit,
     golden: &[usize],
     executor: &E,
@@ -190,25 +196,33 @@ pub fn run_double_campaign<E: Executor>(
             let records = &records;
             let first_error = &first_error;
             let grid = &options.grid;
+            let naive = options.naive;
             scope.spawn(move || {
                 let mut local = Vec::new();
                 while let Ok((point, neighbor)) = rx.recv() {
                     if first_error.lock().is_some() {
                         return;
                     }
+                    let prepared = match executor.prepare_double(qc, point, neighbor) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            first_error.lock().get_or_insert(e);
+                            return;
+                        }
+                    };
                     for &phi0 in &grid.phis {
                         for &theta0 in &grid.thetas {
                             for &phi1 in grid.phis.iter().filter(|&&p| p <= phi0 + 1e-12) {
                                 for &theta1 in grid.thetas.iter().filter(|&&t| t <= theta0 + 1e-12)
                                 {
-                                    let faulty = inject_double_fault(
-                                        qc,
-                                        point,
-                                        FaultParams::shift(theta0, phi0),
-                                        neighbor,
-                                        FaultParams::shift(theta1, phi1),
-                                    );
-                                    match executor.execute(&faulty) {
+                                    let first = FaultParams::shift(theta0, phi0);
+                                    let second = FaultParams::shift(theta1, phi1);
+                                    let dist = if naive {
+                                        prepared.replay_naive(first, second)
+                                    } else {
+                                        prepared.replay(first, second)
+                                    };
+                                    match dist {
                                         Ok(dist) => local.push(DoubleInjectionRecord {
                                             point,
                                             neighbor,
@@ -254,7 +268,7 @@ pub fn run_double_campaign<E: Executor>(
 mod tests {
     use super::*;
     use crate::campaign::{golden_outputs, run_single_campaign};
-    use crate::executor::{IdealExecutor, NoisyExecutor};
+    use crate::executor::{Executor, IdealExecutor, NoisyExecutor};
     use qufi_algos::bernstein_vazirani;
     use qufi_noise::BackendCalibration;
     use qufi_transpile::{CouplingMap, OptimizationLevel};
@@ -308,6 +322,7 @@ mod tests {
                 grid: grid.clone(),
                 points: Some(points.clone()),
                 threads: 0,
+                naive: false,
             },
         )
         .unwrap();
@@ -322,6 +337,7 @@ mod tests {
                 points: Some(points),
                 pairs,
                 threads: 0,
+                naive: false,
             },
         )
         .unwrap();
@@ -347,6 +363,7 @@ mod tests {
             points: Some(vec![point]),
             pairs: vec![(0, 1)],
             threads: 1,
+            naive: false,
         };
         let res = run_double_campaign(&w.circuit, &golden, &IdealExecutor, &opts).unwrap();
         let zero_second: Vec<_> = res
@@ -355,7 +372,8 @@ mod tests {
             .filter(|r| r.theta0 == PI && r.theta1 == 0.0 && r.phi1 == 0.0)
             .collect();
         assert!(!zero_second.is_empty());
-        let single = crate::fault::inject_fault(&w.circuit, point, FaultParams::shift(PI, 0.0));
+        let single =
+            crate::fault::inject_fault(&w.circuit, point, FaultParams::shift(PI, 0.0)).unwrap();
         let single_qvf = qvf_from_dist(&IdealExecutor.execute(&single).unwrap(), &golden);
         for r in zero_second {
             assert!((r.qvf - single_qvf).abs() < 1e-9);

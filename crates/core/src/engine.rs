@@ -1,0 +1,797 @@
+//! The forked-state sweep engine.
+//!
+//! The paper's sweep varies only the injected `U(θ, φ, 0)` gate: all 312
+//! configurations of one injection point (§IV-B) share everything before
+//! the injector. The naive pipeline nevertheless rebuilt, re-transpiled and
+//! re-simulated the whole faulty circuit per configuration. This module
+//! splits that work:
+//!
+//! 1. [`SweepExecutor::prepare`] runs **once per injection point**: it
+//!    carries the logical site through transpilation with a splice marker
+//!    ([`crate::mapping`]), compacts the physical circuit, evolves the
+//!    prefix up to the splice boundary, and parks the simulator state.
+//! 2. [`PreparedSweep::replay`] runs **once per configuration**: it forks
+//!    the parked state, applies the injector gate (which suffers gate noise
+//!    like any physical gate), finishes the suffix, and reads out.
+//!
+//! Because the prefix/suffix evolution applies exactly the same operation
+//! sequence as a straight run (see [`qufi_noise::simulate::NoisyCursor`]),
+//! a replay is **bit-identical** to the naive rebuild — a guarantee pinned
+//! by `tests/fork_equivalence.rs`, which diffs every replay against
+//! [`PreparedSweep::replay_naive`], the retained per-configuration oracle
+//! path.
+//!
+//! Faults are spliced into the **transpiled physical circuit**, matching
+//! the paper's methodology ("QuFI keeps track of the logical and physical
+//! qubits throughout the transpiling process", §IV-C): a radiation strike
+//! is a runtime event, so the injector must not be fused away or merged
+//! with neighboring gates by the circuit optimizer.
+
+use crate::error::ExecError;
+use crate::executor::{compact_circuit, Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
+use crate::fault::{
+    check_double_site, check_fault_order, check_injection_point, FaultParams, InjectionPoint,
+};
+use crate::mapping::{
+    extract_splice_sites, mark_double_injection_site, mark_injection_site, SpliceSite,
+};
+use qufi_noise::simulate::NoisyCursor;
+use qufi_noise::NoiseModel;
+use qufi_sim::{CircuitCursor, DensityMatrix, ProbDist, QuantumCircuit, Statevector};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An [`Executor`] that can split a fault sweep into per-point preparation
+/// and per-configuration replay.
+pub trait SweepExecutor: Executor {
+    /// Prepares a single-fault sweep at `point`: transpile once, evolve
+    /// the shared prefix once, park the state.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range points, transpilation and simulation failures.
+    fn prepare<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+    ) -> Result<Box<dyn PreparedSweep + 'a>, ExecError>;
+
+    /// Prepares a double-fault sweep: the first fault at `point`, the
+    /// second on `neighbor` at the same position (§III-C).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SweepExecutor::prepare`], plus an invalid
+    /// neighbor.
+    fn prepare_double<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+        neighbor: usize,
+    ) -> Result<Box<dyn PreparedDoubleSweep + 'a>, ExecError>;
+}
+
+impl<E: SweepExecutor + ?Sized> SweepExecutor for &E {
+    fn prepare<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+    ) -> Result<Box<dyn PreparedSweep + 'a>, ExecError> {
+        (**self).prepare(qc, point)
+    }
+
+    fn prepare_double<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+        neighbor: usize,
+    ) -> Result<Box<dyn PreparedDoubleSweep + 'a>, ExecError> {
+        (**self).prepare_double(qc, point, neighbor)
+    }
+}
+
+/// A parked single-fault sweep: replay any `(θ, φ)` against the snapshot.
+pub trait PreparedSweep {
+    /// Fast path: fork the parked prefix state and finish the suffix with
+    /// the injector spliced in.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures.
+    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError>;
+
+    /// Oracle path: rebuild, re-transpile and re-simulate the entire
+    /// faulty circuit from scratch — the pre-engine per-configuration
+    /// pipeline. Kept as the ground truth the differential suite diffs
+    /// [`PreparedSweep::replay`] against.
+    ///
+    /// # Errors
+    ///
+    /// Simulation and transpilation failures.
+    fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError>;
+
+    /// Gates evolved once at preparation time (the shared prefix).
+    fn prefix_gates(&self) -> usize;
+
+    /// Gates evolved per replay (the suffix, excluding the injector).
+    fn suffix_gates(&self) -> usize;
+}
+
+/// A parked double-fault sweep.
+pub trait PreparedDoubleSweep {
+    /// Fast path for a `(first, second)` fault pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidFault`] when the second fault exceeds the
+    /// first; simulation failures otherwise.
+    fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError>;
+
+    /// Oracle path: full rebuild per fault pair.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PreparedDoubleSweep::replay`].
+    fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError>;
+}
+
+/// Splices injector gates into a circuit at the given sites (ascending
+/// index order, equal indices keep fault order).
+fn splice_faults(
+    qc: &QuantumCircuit,
+    sites: &[SpliceSite],
+    faults: &[FaultParams],
+) -> QuantumCircuit {
+    debug_assert_eq!(sites.len(), faults.len());
+    let mut out = qc.clone();
+    for (site, fault) in sites.iter().zip(faults).rev() {
+        out.insert(site.index, fault.injector_gate(), &[site.qubit]);
+    }
+    out.name = format!("{}+fault", qc.name);
+    out
+}
+
+/// Gate count of instructions `[0, upto)` / `[upto, len)` of a circuit.
+fn gates_in(qc: &QuantumCircuit, range: std::ops::Range<usize>) -> usize {
+    qc.ops()[range]
+        .iter()
+        .filter(|op| matches!(op, qufi_sim::Op::Gate { .. }))
+        .count()
+}
+
+// ---------------------------------------------------------------------------
+// Ideal executor: no transpilation, statevector prefix forking.
+
+struct IdealPrepared {
+    circuit: QuantumCircuit,
+    sites: Vec<SpliceSite>,
+    prefix: CircuitCursor<Statevector>,
+}
+
+impl IdealPrepared {
+    fn new(qc: &QuantumCircuit, sites: Vec<SpliceSite>) -> Result<Self, ExecError> {
+        let mut prefix = CircuitCursor::<Statevector>::start(qc).map_err(ExecError::Sim)?;
+        prefix.advance_to(qc, sites[0].index);
+        Ok(IdealPrepared {
+            circuit: qc.clone(),
+            sites,
+            prefix,
+        })
+    }
+
+    fn replay_faults(&self, faults: &[FaultParams]) -> ProbDist {
+        let mut cur = self.prefix.fork();
+        for (site, fault) in self.sites.iter().zip(faults) {
+            cur.advance_to(&self.circuit, site.index);
+            cur.apply_gate(fault.injector_gate(), &[site.qubit]);
+        }
+        cur.advance_to_end(&self.circuit);
+        cur.state().measurement_distribution(&self.circuit)
+    }
+
+    fn replay_faults_naive(&self, faults: &[FaultParams]) -> Result<ProbDist, ExecError> {
+        let faulty = splice_faults(&self.circuit, &self.sites, faults);
+        let sv = Statevector::from_circuit(&faulty).map_err(ExecError::Sim)?;
+        Ok(sv.measurement_distribution(&faulty))
+    }
+}
+
+impl PreparedSweep for IdealPrepared {
+    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        Ok(self.replay_faults(&[fault]))
+    }
+
+    fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        self.replay_faults_naive(&[fault])
+    }
+
+    fn prefix_gates(&self) -> usize {
+        gates_in(&self.circuit, 0..self.sites[0].index)
+    }
+
+    fn suffix_gates(&self) -> usize {
+        gates_in(&self.circuit, self.sites[0].index..self.circuit.size())
+    }
+}
+
+impl PreparedDoubleSweep for IdealPrepared {
+    fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        Ok(self.replay_faults(&[first, second]))
+    }
+
+    fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        self.replay_faults_naive(&[first, second])
+    }
+}
+
+impl SweepExecutor for IdealExecutor {
+    fn prepare<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+    ) -> Result<Box<dyn PreparedSweep + 'a>, ExecError> {
+        check_injection_point(qc, point)?;
+        let sites = vec![SpliceSite {
+            index: point.op_index + 1,
+            qubit: point.qubit,
+        }];
+        Ok(Box::new(IdealPrepared::new(qc, sites)?))
+    }
+
+    fn prepare_double<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+        neighbor: usize,
+    ) -> Result<Box<dyn PreparedDoubleSweep + 'a>, ExecError> {
+        check_double_site(qc, point, neighbor)?;
+        let sites = vec![
+            SpliceSite {
+                index: point.op_index + 1,
+                qubit: point.qubit,
+            },
+            SpliceSite {
+                index: point.op_index + 1,
+                qubit: neighbor,
+            },
+        ];
+        Ok(Box::new(IdealPrepared::new(qc, sites)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transpiling executors: marker through the pipeline, density-matrix
+// prefix forking under the noise model.
+
+/// Everything the noisy/hardware replay paths share for one point: the
+/// stripped compact physical circuit, its splice sites, the noise model,
+/// and the parked prefix state.
+struct PhysicalSweep {
+    /// Marked logical circuit — `replay_naive` re-transpiles it per call.
+    marked: QuantumCircuit,
+    /// Stripped compact physical circuit the replays run on.
+    physical: QuantumCircuit,
+    /// Splice sites in compact physical coordinates, program order.
+    sites: Vec<SpliceSite>,
+    model: NoiseModel,
+    prefix: DensityMatrix,
+    prefix_pos: usize,
+}
+
+impl PhysicalSweep {
+    /// Transpiles a marked circuit, recovers the physical splice sites and
+    /// parks the prefix evolution under `model_for(active)`.
+    fn prepare(
+        transpiler: &qufi_transpile::Transpiler,
+        marked: QuantumCircuit,
+        n_sites: usize,
+        model_for: impl FnOnce(&[usize]) -> NoiseModel,
+    ) -> Result<Self, ExecError> {
+        let result = transpiler.run(&marked)?;
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        let (physical, sites) = extract_splice_sites(&compact);
+        if sites.len() != n_sites {
+            return Err(ExecError::Engine(format!(
+                "expected {n_sites} splice markers after transpilation, found {}",
+                sites.len()
+            )));
+        }
+        let model = model_for(&active);
+        let mut cursor = NoisyCursor::start(&physical, &model).map_err(ExecError::Sim)?;
+        cursor.advance_to(&physical, sites[0].index);
+        let prefix_pos = cursor.position();
+        let prefix = cursor.into_state();
+        Ok(PhysicalSweep {
+            marked,
+            physical,
+            sites,
+            model,
+            prefix,
+            prefix_pos,
+        })
+    }
+
+    /// Fast path: fork the parked state, splice the injectors, finish.
+    fn replay(&self, faults: &[FaultParams]) -> ProbDist {
+        let mut cur = NoisyCursor::resume(self.prefix.snapshot(), &self.model, self.prefix_pos);
+        for (site, fault) in self.sites.iter().zip(faults) {
+            cur.advance_to(&self.physical, site.index);
+            cur.apply_gate(fault.injector_gate(), &[site.qubit]);
+        }
+        cur.advance_to_end(&self.physical);
+        cur.finish(&self.physical)
+    }
+
+    /// Oracle path: the full pre-engine pipeline — re-transpile the marked
+    /// circuit, splice, and simulate the whole faulty circuit from `|0…0⟩`.
+    fn replay_naive(
+        &self,
+        transpiler: &qufi_transpile::Transpiler,
+        faults: &[FaultParams],
+    ) -> Result<ProbDist, ExecError> {
+        let result = transpiler.run(&self.marked)?;
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        let (physical, sites) = extract_splice_sites(&compact);
+        if sites.len() != faults.len() {
+            return Err(ExecError::Engine(format!(
+                "expected {} splice markers after re-transpilation, found {}",
+                faults.len(),
+                sites.len()
+            )));
+        }
+        let faulty = splice_faults(&physical, &sites, faults);
+        qufi_noise::simulate::run_noisy(&faulty, &self.model).map_err(ExecError::Sim)
+    }
+
+    fn prefix_gates(&self) -> usize {
+        gates_in(&self.physical, 0..self.prefix_pos)
+    }
+
+    fn suffix_gates(&self) -> usize {
+        gates_in(&self.physical, self.prefix_pos..self.physical.size())
+    }
+}
+
+struct NoisyPrepared<'a> {
+    executor: &'a NoisyExecutor,
+    sweep: PhysicalSweep,
+}
+
+impl PreparedSweep for NoisyPrepared<'_> {
+    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        Ok(self.sweep.replay(&[fault]))
+    }
+
+    fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        self.sweep
+            .replay_naive(self.executor.transpiler(), &[fault])
+    }
+
+    fn prefix_gates(&self) -> usize {
+        self.sweep.prefix_gates()
+    }
+
+    fn suffix_gates(&self) -> usize {
+        self.sweep.suffix_gates()
+    }
+}
+
+impl PreparedDoubleSweep for NoisyPrepared<'_> {
+    fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        Ok(self.sweep.replay(&[first, second]))
+    }
+
+    fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        self.sweep
+            .replay_naive(self.executor.transpiler(), &[first, second])
+    }
+}
+
+impl SweepExecutor for NoisyExecutor {
+    fn prepare<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+    ) -> Result<Box<dyn PreparedSweep + 'a>, ExecError> {
+        let marked = mark_injection_site(qc, point)?;
+        let sweep = PhysicalSweep::prepare(self.transpiler(), marked, 1, |a| self.model_for(a))?;
+        Ok(Box::new(NoisyPrepared {
+            executor: self,
+            sweep,
+        }))
+    }
+
+    fn prepare_double<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+        neighbor: usize,
+    ) -> Result<Box<dyn PreparedDoubleSweep + 'a>, ExecError> {
+        let marked = mark_double_injection_site(qc, point, neighbor)?;
+        let sweep = PhysicalSweep::prepare(self.transpiler(), marked, 2, |a| self.model_for(a))?;
+        Ok(Box::new(NoisyPrepared {
+            executor: self,
+            sweep,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware executor: per-point calibration drift, per-configuration shot
+// sampling, both derived deterministically so results are independent of
+// scheduling order.
+
+/// Incremental FNV-1a hasher for deriving deterministic RNG streams.
+///
+/// The single implementation behind every schedule-independence guarantee
+/// in the stack: hardware sweeps derive per-point drift and per-fault
+/// sampling seeds here, and the `qufi` CLI derives per-(job, point)
+/// executor seeds from the same construction — so results never depend on
+/// thread interleaving, replay order, or interrupt/resume splits.
+#[derive(Debug, Clone)]
+pub struct SeedHasher(u64);
+
+impl SeedHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        SeedHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes raw bytes.
+    pub fn mix_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+        self
+    }
+
+    /// Mixes one word (little-endian bytes).
+    pub fn mix_u64(&mut self, w: u64) -> &mut Self {
+        self.mix_bytes(&w.to_le_bytes())
+    }
+
+    /// The derived seed.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for SeedHasher {
+    fn default() -> Self {
+        SeedHasher::new()
+    }
+}
+
+/// FNV-1a mix of arbitrary words — the seed-derivation shorthand for
+/// hardware sweeps.
+fn derive_seed(words: &[u64]) -> u64 {
+    let mut h = SeedHasher::new();
+    for &w in words {
+        h.mix_u64(w);
+    }
+    h.finish()
+}
+
+struct HardwarePrepared<'a> {
+    executor: &'a HardwareExecutor,
+    sweep: PhysicalSweep,
+    /// Base for per-configuration sampling seeds.
+    sample_base: u64,
+}
+
+impl HardwarePrepared<'_> {
+    /// One calibration batch per injection point: the drifted device and
+    /// the sampling-seed base derive from (executor seed, point identity),
+    /// never from the executor's shared stream.
+    fn prepare<'a>(
+        executor: &'a HardwareExecutor,
+        marked: QuantumCircuit,
+        n_sites: usize,
+        point: InjectionPoint,
+        neighbor: Option<usize>,
+    ) -> Result<HardwarePrepared<'a>, ExecError> {
+        let mut rng = SmallRng::seed_from_u64(derive_seed(&[
+            executor.seed(),
+            point.op_index as u64,
+            point.qubit as u64,
+            neighbor.map_or(u64::MAX, |n| n as u64),
+        ]));
+        let cal = executor
+            .calibration()
+            .with_drift(&mut rng, executor.drift_sigma());
+        let sample_base: u64 = rng.gen();
+        let sweep = PhysicalSweep::prepare(executor.transpiler(), marked, n_sites, |active| {
+            cal.restrict(active).noise_model()
+        })?;
+        Ok(HardwarePrepared {
+            executor,
+            sweep,
+            sample_base,
+        })
+    }
+
+    /// The finite-shot view of an exact distribution, seeded by the fault
+    /// angles so replay order never matters.
+    fn sample(&self, exact: ProbDist, faults: &[FaultParams]) -> ProbDist {
+        let mut words = vec![self.sample_base];
+        for f in faults {
+            words.push(f.theta.to_bits());
+            words.push(f.phi.to_bits());
+        }
+        let mut rng = SmallRng::seed_from_u64(derive_seed(&words));
+        exact.sample(&mut rng, self.executor.shots()).to_prob_dist()
+    }
+}
+
+impl PreparedSweep for HardwarePrepared<'_> {
+    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        Ok(self.sample(self.sweep.replay(&[fault]), &[fault]))
+    }
+
+    fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        let exact = self
+            .sweep
+            .replay_naive(self.executor.transpiler(), &[fault])?;
+        Ok(self.sample(exact, &[fault]))
+    }
+
+    fn prefix_gates(&self) -> usize {
+        self.sweep.prefix_gates()
+    }
+
+    fn suffix_gates(&self) -> usize {
+        self.sweep.suffix_gates()
+    }
+}
+
+impl PreparedDoubleSweep for HardwarePrepared<'_> {
+    fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        let faults = [first, second];
+        Ok(self.sample(self.sweep.replay(&faults), &faults))
+    }
+
+    fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        let faults = [first, second];
+        let exact = self
+            .sweep
+            .replay_naive(self.executor.transpiler(), &faults)?;
+        Ok(self.sample(exact, &faults))
+    }
+}
+
+impl SweepExecutor for HardwareExecutor {
+    fn prepare<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+    ) -> Result<Box<dyn PreparedSweep + 'a>, ExecError> {
+        let marked = mark_injection_site(qc, point)?;
+        Ok(Box::new(HardwarePrepared::prepare(
+            self, marked, 1, point, None,
+        )?))
+    }
+
+    fn prepare_double<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+        neighbor: usize,
+    ) -> Result<Box<dyn PreparedDoubleSweep + 'a>, ExecError> {
+        let marked = mark_double_injection_site(qc, point, neighbor)?;
+        Ok(Box::new(HardwarePrepared::prepare(
+            self,
+            marked,
+            2,
+            point,
+            Some(neighbor),
+        )?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufi_algos::bernstein_vazirani;
+    use qufi_noise::BackendCalibration;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn bv() -> QuantumCircuit {
+        bernstein_vazirani(0b101, 3).circuit
+    }
+
+    fn some_point() -> InjectionPoint {
+        InjectionPoint {
+            op_index: 2,
+            qubit: 0,
+        }
+    }
+
+    fn assert_bit_identical(a: &ProbDist, b: &ProbDist, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: width mismatch");
+        for i in 0..a.len() {
+            assert_eq!(
+                a.prob(i).to_bits(),
+                b.prob(i).to_bits(),
+                "{what}: outcome {i} differs ({} vs {})",
+                a.prob(i),
+                b.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_replay_matches_naive_bitwise() {
+        let qc = bv();
+        let prepared = IdealExecutor.prepare(&qc, some_point()).unwrap();
+        for (theta, phi) in [(0.0, 0.0), (PI, 0.0), (FRAC_PI_2, PI), (0.3, 5.9)] {
+            let fault = FaultParams::shift(theta, phi);
+            let fast = prepared.replay(fault).unwrap();
+            let slow = prepared.replay_naive(fault).unwrap();
+            assert_bit_identical(&fast, &slow, "ideal");
+        }
+    }
+
+    #[test]
+    fn noisy_replay_matches_naive_bitwise() {
+        let qc = bv();
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        for (theta, phi) in [(0.0, 0.0), (PI, 0.0), (FRAC_PI_2, FRAC_PI_2)] {
+            let fault = FaultParams::shift(theta, phi);
+            let fast = prepared.replay(fault).unwrap();
+            let slow = prepared.replay_naive(fault).unwrap();
+            assert_bit_identical(&fast, &slow, "noisy");
+        }
+    }
+
+    #[test]
+    fn hardware_replay_matches_naive_bitwise_and_is_order_independent() {
+        let qc = bv();
+        let ex = HardwareExecutor::new(BackendCalibration::jakarta(), 42);
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        let faults = [
+            FaultParams::shift(PI, 0.0),
+            FaultParams::shift(0.0, PI),
+            FaultParams::shift(FRAC_PI_2, FRAC_PI_2),
+        ];
+        let forward: Vec<ProbDist> = faults
+            .iter()
+            .map(|&f| prepared.replay(f).unwrap())
+            .collect();
+        // Naive replays in reverse order must reproduce each distribution.
+        for (i, &f) in faults.iter().enumerate().rev() {
+            let slow = prepared.replay_naive(f).unwrap();
+            assert_bit_identical(&forward[i], &slow, "hardware");
+        }
+        // A fresh prepare of the same point reproduces everything.
+        let again = ex.prepare(&qc, some_point()).unwrap();
+        for (i, &f) in faults.iter().enumerate() {
+            assert_bit_identical(&forward[i], &again.replay(f).unwrap(), "re-prepare");
+        }
+    }
+
+    #[test]
+    fn hardware_preparation_ignores_the_shared_stream() {
+        // Burning executions on the ad-hoc path must not change sweep
+        // results: per-point streams derive from the seed, not the shared
+        // RNG state.
+        let qc = bv();
+        let ex = HardwareExecutor::new(BackendCalibration::jakarta(), 7);
+        let before = ex
+            .prepare(&qc, some_point())
+            .unwrap()
+            .replay(FaultParams::shift(PI, 0.0))
+            .unwrap();
+        let _ = ex.execute(&qc).unwrap();
+        let _ = ex.execute(&qc).unwrap();
+        let after = ex
+            .prepare(&qc, some_point())
+            .unwrap()
+            .replay(FaultParams::shift(PI, 0.0))
+            .unwrap();
+        assert_bit_identical(&before, &after, "shared-stream independence");
+    }
+
+    #[test]
+    fn double_replay_matches_naive_across_executors() {
+        let qc = bv();
+        let point = some_point();
+        let first = FaultParams::shift(PI, PI);
+        let second = FaultParams::shift(FRAC_PI_2, FRAC_PI_2);
+        let noisy = NoisyExecutor::new(BackendCalibration::lima());
+        let hw = HardwareExecutor::new(BackendCalibration::jakarta(), 5);
+
+        let p = IdealExecutor.prepare_double(&qc, point, 1).unwrap();
+        assert_bit_identical(
+            &p.replay(first, second).unwrap(),
+            &p.replay_naive(first, second).unwrap(),
+            "ideal double",
+        );
+        let p = noisy.prepare_double(&qc, point, 1).unwrap();
+        assert_bit_identical(
+            &p.replay(first, second).unwrap(),
+            &p.replay_naive(first, second).unwrap(),
+            "noisy double",
+        );
+        let p = hw.prepare_double(&qc, point, 1).unwrap();
+        assert_bit_identical(
+            &p.replay(first, second).unwrap(),
+            &p.replay_naive(first, second).unwrap(),
+            "hardware double",
+        );
+    }
+
+    #[test]
+    fn double_replay_enforces_fault_ordering() {
+        let qc = bv();
+        let p = IdealExecutor.prepare_double(&qc, some_point(), 1).unwrap();
+        let weak = FaultParams::shift(FRAC_PI_2, 0.0);
+        let strong = FaultParams::shift(PI, 0.0);
+        assert!(matches!(
+            p.replay(weak, strong),
+            Err(ExecError::InvalidFault(_))
+        ));
+    }
+
+    #[test]
+    fn prepare_rejects_bad_sites() {
+        let qc = bv();
+        let bad = InjectionPoint {
+            op_index: qc.size() + 3,
+            qubit: 0,
+        };
+        assert!(matches!(
+            IdealExecutor.prepare(&qc, bad),
+            Err(ExecError::InjectionOutOfRange { .. })
+        ));
+        let noisy = NoisyExecutor::new(BackendCalibration::lima());
+        assert!(noisy.prepare(&qc, bad).is_err());
+        assert!(matches!(
+            noisy.prepare_double(&qc, some_point(), 0),
+            Err(ExecError::InvalidFault(_))
+        ));
+    }
+
+    #[test]
+    fn forked_path_skips_prefix_work() {
+        // The whole point of the engine: replays only evolve the suffix.
+        let qc = bv();
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let late_point = {
+            // Choose the last gate so the prefix dominates.
+            let points = crate::fault::enumerate_injection_points(&qc);
+            *points.last().unwrap()
+        };
+        let prepared = ex.prepare(&qc, late_point).unwrap();
+        assert!(
+            prepared.prefix_gates() > prepared.suffix_gates(),
+            "late-point sweep should park most gates in the prefix \
+             ({} prefix vs {} suffix)",
+            prepared.prefix_gates(),
+            prepared.suffix_gates()
+        );
+    }
+
+    #[test]
+    fn null_fault_replay_still_carries_injector_noise() {
+        // The injector is a physical runtime gate: even (0,0) adds one
+        // noisy gate relative to the clean execution.
+        let qc = bv();
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let clean = ex.execute(&qc).unwrap();
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        let null = prepared.replay(FaultParams::shift(0.0, 0.0)).unwrap();
+        let tv = clean.tv_distance(&null);
+        assert!(tv > 0.0, "injector should cost one gate of noise");
+        assert!(tv < 5e-3, "a null fault must stay nearly invisible: {tv}");
+    }
+}

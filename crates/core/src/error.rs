@@ -13,6 +13,23 @@ pub enum ExecError {
     Transpile(TranspileError),
     /// The fault-free execution produced no usable golden state.
     NoGoldenState,
+    /// An injection point does not exist in the target circuit.
+    InjectionOutOfRange {
+        /// The requested instruction index.
+        op_index: usize,
+        /// The struck qubit.
+        qubit: usize,
+        /// Instruction count of the circuit.
+        size: usize,
+        /// Register width of the circuit.
+        width: usize,
+    },
+    /// A fault specification violates the fault model (e.g. a second fault
+    /// exceeding the first, or striking the same qubit twice).
+    InvalidFault(String),
+    /// The sweep engine lost track of its splice site — a transpiler pass
+    /// dropped or duplicated the injection marker.
+    Engine(String),
 }
 
 impl fmt::Display for ExecError {
@@ -21,6 +38,18 @@ impl fmt::Display for ExecError {
             ExecError::Sim(e) => write!(f, "simulation failed: {e}"),
             ExecError::Transpile(e) => write!(f, "transpilation failed: {e}"),
             ExecError::NoGoldenState => write!(f, "no golden state identifiable"),
+            ExecError::InjectionOutOfRange {
+                op_index,
+                qubit,
+                size,
+                width,
+            } => write!(
+                f,
+                "injection point (op {op_index}, qubit {qubit}) outside circuit \
+                 of {size} instructions over {width} qubits"
+            ),
+            ExecError::InvalidFault(why) => write!(f, "invalid fault: {why}"),
+            ExecError::Engine(why) => write!(f, "sweep engine failure: {why}"),
         }
     }
 }
@@ -30,7 +59,7 @@ impl std::error::Error for ExecError {
         match self {
             ExecError::Sim(e) => Some(e),
             ExecError::Transpile(e) => Some(e),
-            ExecError::NoGoldenState => None,
+            _ => None,
         }
     }
 }
@@ -59,5 +88,25 @@ mod tests {
         assert!(e.to_string().contains("transpilation failed"));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn fault_model_errors_describe_themselves() {
+        let e = ExecError::InjectionOutOfRange {
+            op_index: 9,
+            qubit: 3,
+            size: 4,
+            width: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("op 9") && msg.contains("qubit 3"));
+        assert!(ExecError::InvalidFault("why".into())
+            .to_string()
+            .contains("why"));
+        assert!(ExecError::Engine("lost marker".into())
+            .to_string()
+            .contains("lost marker"));
+        use std::error::Error;
+        assert!(ExecError::InvalidFault("x".into()).source().is_none());
     }
 }

@@ -65,7 +65,7 @@ impl Executor for IdealExecutor {
 
 /// Remaps a physical circuit onto the compact register `0..active.len()`
 /// (position of each physical qubit within `active`).
-fn compact_circuit(qc: &QuantumCircuit, active: &[usize]) -> QuantumCircuit {
+pub(crate) fn compact_circuit(qc: &QuantumCircuit, active: &[usize]) -> QuantumCircuit {
     let mut pos = vec![usize::MAX; qc.num_qubits()];
     for (i, &p) in active.iter().enumerate() {
         pos[p] = i;
@@ -136,7 +136,7 @@ impl NoisyExecutor {
         &self.transpiler
     }
 
-    fn model_for(&self, active: &[usize]) -> NoiseModel {
+    pub(crate) fn model_for(&self, active: &[usize]) -> NoiseModel {
         let mut cache = self.model_cache.lock();
         cache
             .entry(active.to_vec())
@@ -166,6 +166,11 @@ pub struct HardwareExecutor {
     transpiler: Transpiler,
     shots: u64,
     drift_sigma: f64,
+    /// Construction seed; the shared stream below serves ad-hoc
+    /// [`Executor::execute`] calls, while the sweep engine derives
+    /// per-injection-point streams from this seed so campaign results do
+    /// not depend on scheduling order.
+    seed: u64,
     rng: Mutex<SmallRng>,
     label: String,
 }
@@ -196,6 +201,7 @@ impl HardwareExecutor {
             base: calibration,
             shots,
             drift_sigma,
+            seed,
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             label,
         }
@@ -204,6 +210,24 @@ impl HardwareExecutor {
     /// Shots per job.
     pub fn shots(&self) -> u64 {
         self.shots
+    }
+
+    /// The transpiler in use.
+    pub fn transpiler(&self) -> &Transpiler {
+        &self.transpiler
+    }
+
+    /// The undrifted base calibration.
+    pub fn calibration(&self) -> &BackendCalibration {
+        &self.base
+    }
+
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub(crate) fn drift_sigma(&self) -> f64 {
+        self.drift_sigma
     }
 }
 

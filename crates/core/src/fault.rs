@@ -7,6 +7,7 @@
 //! the original circuit, and sweeps `φ ∈ [0, 2π)`, `θ ∈ [0, π]` in 15°
 //! steps: 312 configurations per injection point (§IV-B).
 
+use crate::error::ExecError;
 use qufi_math::AngleGrid;
 use qufi_sim::circuit::Op;
 use qufi_sim::{Gate, QuantumCircuit};
@@ -142,50 +143,123 @@ pub fn enumerate_injection_points(qc: &QuantumCircuit) -> Vec<InjectionPoint> {
     points
 }
 
+/// Validates that `point` names an existing instruction and qubit of `qc`.
+///
+/// # Errors
+///
+/// [`ExecError::InjectionOutOfRange`] when either index is out of range.
+pub fn check_injection_point(qc: &QuantumCircuit, point: InjectionPoint) -> Result<(), ExecError> {
+    if point.op_index >= qc.size() || point.qubit >= qc.num_qubits() {
+        return Err(ExecError::InjectionOutOfRange {
+            op_index: point.op_index,
+            qubit: point.qubit,
+            size: qc.size(),
+            width: qc.num_qubits(),
+        });
+    }
+    Ok(())
+}
+
+/// Validates the location part of a double fault: `point` exists and
+/// `neighbor` is a distinct in-range qubit.
+///
+/// # Errors
+///
+/// [`ExecError::InjectionOutOfRange`] or [`ExecError::InvalidFault`].
+pub fn check_double_site(
+    qc: &QuantumCircuit,
+    point: InjectionPoint,
+    neighbor: usize,
+) -> Result<(), ExecError> {
+    check_injection_point(qc, point)?;
+    if neighbor >= qc.num_qubits() {
+        return Err(ExecError::InjectionOutOfRange {
+            op_index: point.op_index,
+            qubit: neighbor,
+            size: qc.size(),
+            width: qc.num_qubits(),
+        });
+    }
+    if point.qubit == neighbor {
+        return Err(ExecError::InvalidFault(
+            "double fault needs two distinct qubits".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates the double-fault constraints of §III-C: the neighbor is a
+/// distinct in-range qubit, and the second shift never exceeds the first
+/// in either angle.
+///
+/// # Errors
+///
+/// [`ExecError::InjectionOutOfRange`] or [`ExecError::InvalidFault`].
+pub fn check_double_fault(
+    qc: &QuantumCircuit,
+    point: InjectionPoint,
+    first: FaultParams,
+    neighbor: usize,
+    second: FaultParams,
+) -> Result<(), ExecError> {
+    check_double_site(qc, point, neighbor)?;
+    check_fault_order(first, second)
+}
+
+/// Validates the §III-C magnitude ordering of a double fault: the second
+/// (neighbor) shift never exceeds the first in either angle.
+///
+/// # Errors
+///
+/// [`ExecError::InvalidFault`] when `θ1 > θ0` or `φ1 > φ0`.
+pub fn check_fault_order(first: FaultParams, second: FaultParams) -> Result<(), ExecError> {
+    if second.theta > first.theta + 1e-12 || second.phi > first.phi + 1e-12 {
+        return Err(ExecError::InvalidFault(
+            "second fault must not exceed the first (θ1 ≤ θ0, φ1 ≤ φ0)".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Builds the faulty circuit: a copy of `qc` with the injector gate spliced
 /// in right after `point.op_index`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the point is out of range.
+/// [`ExecError::InjectionOutOfRange`] when the point names an instruction
+/// or qubit the circuit does not have.
 pub fn inject_fault(
     qc: &QuantumCircuit,
     point: InjectionPoint,
     fault: FaultParams,
-) -> QuantumCircuit {
-    assert!(point.op_index < qc.size(), "injection point out of range");
+) -> Result<QuantumCircuit, ExecError> {
+    check_injection_point(qc, point)?;
     let mut faulty = qc.clone();
     faulty.insert(point.op_index + 1, fault.injector_gate(), &[point.qubit]);
     faulty.name = format!("{}+fault", qc.name);
-    faulty
+    Ok(faulty)
 }
 
 /// Builds a double-faulty circuit: the first fault on `point`, and a second
 /// (weaker) fault on `neighbor` at the same position — the qubit physically
 /// adjacent to the strike location receives the smaller shift (§III-C).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the point is out of range, the neighbor equals the struck
-/// qubit, or the second fault exceeds the first in either angle.
+/// [`ExecError::InjectionOutOfRange`] when an index is out of range and
+/// [`ExecError::InvalidFault`] when the neighbor equals the struck qubit or
+/// the second fault exceeds the first in either angle.
 pub fn inject_double_fault(
     qc: &QuantumCircuit,
     point: InjectionPoint,
     first: FaultParams,
     neighbor: usize,
     second: FaultParams,
-) -> QuantumCircuit {
-    assert_ne!(
-        point.qubit, neighbor,
-        "double fault needs two distinct qubits"
-    );
-    assert!(
-        second.theta <= first.theta + 1e-12 && second.phi <= first.phi + 1e-12,
-        "second fault must not exceed the first (θ1 ≤ θ0, φ1 ≤ φ0)"
-    );
-    let mut faulty = inject_fault(qc, point, first);
+) -> Result<QuantumCircuit, ExecError> {
+    check_double_fault(qc, point, first, neighbor, second)?;
+    let mut faulty = inject_fault(qc, point, first)?;
     faulty.insert(point.op_index + 2, second.injector_gate(), &[neighbor]);
-    faulty
+    Ok(faulty)
 }
 
 #[cfg(test)]
@@ -247,7 +321,8 @@ mod tests {
                 qubit: 0,
             },
             FaultParams::shift(0.0, 0.0),
-        );
+        )
+        .unwrap();
         assert_eq!(faulty.gate_count(), qc.gate_count() + 1);
         let a = Statevector::from_circuit(&qc)
             .unwrap()
@@ -270,7 +345,8 @@ mod tests {
                 qubit: 0,
             },
             FaultParams::shift(PI, 0.0),
-        );
+        )
+        .unwrap();
         let d = Statevector::from_circuit(&faulty)
             .unwrap()
             .measurement_distribution(&faulty);
@@ -288,7 +364,8 @@ mod tests {
                 qubit: 1,
             },
             FaultParams::shift(0.0, FRAC_PI_2),
-        );
+        )
+        .unwrap();
         let a = Statevector::from_circuit(&qc)
             .unwrap()
             .measurement_distribution(&qc);
@@ -318,7 +395,8 @@ mod tests {
             FaultParams::shift(PI, PI),
             1,
             FaultParams::shift(FRAC_PI_2, FRAC_PI_4),
-        );
+        )
+        .unwrap();
         assert_eq!(faulty.gate_count(), qc.gate_count() + 2);
         // Ops: h, cx, U(q0), U(q1), measures.
         match (&faulty.ops()[2], &faulty.ops()[3]) {
@@ -342,10 +420,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "second fault must not exceed")]
     fn second_fault_magnitude_bounded_by_first() {
         let qc = bell();
-        let _ = inject_double_fault(
+        let err = inject_double_fault(
             &qc,
             InjectionPoint {
                 op_index: 0,
@@ -354,14 +431,16 @@ mod tests {
             FaultParams::shift(FRAC_PI_4, 0.0),
             1,
             FaultParams::shift(PI, 0.0),
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::error::ExecError::InvalidFault(_)));
+        assert!(err.to_string().contains("must not exceed"));
     }
 
     #[test]
-    #[should_panic(expected = "distinct qubits")]
     fn double_fault_requires_distinct_qubits() {
         let qc = bell();
-        let _ = inject_double_fault(
+        let err = inject_double_fault(
             &qc,
             InjectionPoint {
                 op_index: 0,
@@ -370,6 +449,55 @@ mod tests {
             FaultParams::shift(PI, 0.0),
             0,
             FaultParams::shift(0.0, 0.0),
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::error::ExecError::InvalidFault(_)));
+        assert!(err.to_string().contains("distinct qubits"));
+    }
+
+    #[test]
+    fn out_of_range_points_are_errors_not_panics() {
+        let qc = bell();
+        // Instruction index past the end.
+        let err = inject_fault(
+            &qc,
+            InjectionPoint {
+                op_index: qc.size(),
+                qubit: 0,
+            },
+            FaultParams::shift(PI, 0.0),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ExecError::InjectionOutOfRange { .. }
+        ));
+        // Qubit outside the register.
+        let err = inject_fault(
+            &qc,
+            InjectionPoint {
+                op_index: 0,
+                qubit: 7,
+            },
+            FaultParams::shift(PI, 0.0),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("qubit 7"));
+        // Out-of-range neighbor on the double-fault path.
+        let err = inject_double_fault(
+            &qc,
+            InjectionPoint {
+                op_index: 0,
+                qubit: 0,
+            },
+            FaultParams::shift(PI, 0.0),
+            9,
+            FaultParams::shift(0.0, 0.0),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ExecError::InjectionOutOfRange { qubit: 9, .. }
+        ));
     }
 }

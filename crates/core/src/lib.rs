@@ -46,7 +46,7 @@
 //!
 //! let point = InjectionPoint { op_index: 2, qubit: 0 }; // after h(0)
 //! let fault = FaultParams::shift(std::f64::consts::FRAC_PI_4, 0.0);
-//! let faulty = inject_fault(&qc, point, fault);
+//! let faulty = inject_fault(&qc, point, fault).unwrap();
 //! let dist = executor.execute(&faulty).unwrap();
 //! let qvf = qufi_core::metrics::qvf_from_dist(&dist, &golden);
 //! assert!(qvf > 0.0 && qvf < 1.0);
@@ -54,6 +54,7 @@
 
 pub mod campaign;
 pub mod double;
+pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod fault;
@@ -68,6 +69,7 @@ pub use campaign::{
     InjectionRecord,
 };
 pub use double::{DoubleCampaignResult, DoubleInjectionRecord, DoubleOptions};
+pub use engine::{PreparedDoubleSweep, PreparedSweep, SweepExecutor};
 pub use error::ExecError;
 pub use executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
 pub use fault::{
@@ -83,6 +85,7 @@ pub mod prelude {
         golden_outputs, run_point_sweep, run_single_campaign, CampaignOptions,
     };
     pub use crate::double::{run_double_campaign, DoubleOptions};
+    pub use crate::engine::{PreparedDoubleSweep, PreparedSweep, SweepExecutor};
     pub use crate::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
     pub use crate::fault::{
         enumerate_injection_points, inject_fault, FaultGrid, FaultParams, InjectionPoint,

@@ -99,6 +99,7 @@ mod tests {
                 },
             ]),
             threads: 0,
+            naive: false,
         };
         noise_sweep(
             &w.circuit,

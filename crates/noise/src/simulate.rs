@@ -3,11 +3,156 @@
 //! Runs a circuit on the density-matrix engine, interleaving each gate with
 //! the channels its [`NoiseModel`] prescribes, then applies readout
 //! confusion before marginalizing to the classical register.
+//!
+//! The evolution is driven by [`NoisyCursor`], which can pause at any
+//! instruction boundary, hand out state snapshots ([`NoisyCursor::fork`]),
+//! and finish the suffix per fork. [`evolve_noisy`]/[`run_noisy`] are thin
+//! wrappers that advance a cursor straight through — so a prefix-then-suffix
+//! evolution applies exactly the same gate/Kraus sequence in exactly the
+//! same order as a one-shot run and is numerically **bit-identical** to it.
 
 use crate::model::NoiseModel;
 use crate::readout::apply_readout_errors;
 use qufi_sim::circuit::Op;
-use qufi_sim::{DensityMatrix, ProbDist, QuantumCircuit, SimError};
+use qufi_sim::{DensityMatrix, Gate, ProbDist, QuantumCircuit, SimError};
+
+/// A paused noisy evolution: the density matrix after the first
+/// [`position`](NoisyCursor::position) instructions of a circuit, each gate
+/// followed by its noise channels in the model's canonical order.
+///
+/// # Example
+///
+/// ```
+/// use qufi_noise::{simulate::NoisyCursor, NoiseModel};
+/// use qufi_sim::QuantumCircuit;
+///
+/// let mut qc = QuantumCircuit::new(2, 2);
+/// qc.h(0).cx(0, 1).measure_all();
+/// let model = NoiseModel::ideal(2);
+/// let mut cursor = NoisyCursor::start(&qc, &model).unwrap();
+/// cursor.advance_to(&qc, 1); // shared prefix: just the H
+/// let mut fork = cursor.fork();
+/// fork.advance_to_end(&qc);
+/// let dist = fork.finish(&qc);
+/// assert!((dist.prob_of("11") - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoisyCursor<'m> {
+    rho: DensityMatrix,
+    model: &'m NoiseModel,
+    pos: usize,
+}
+
+impl<'m> NoisyCursor<'m> {
+    /// A cursor at instruction 0 of `qc` in the `|0…0⟩⟨0…0|` state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the register exceeds the density-matrix
+    /// engine's width limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model covers fewer qubits than the circuit uses.
+    pub fn start(qc: &QuantumCircuit, model: &'m NoiseModel) -> Result<Self, SimError> {
+        assert!(
+            model.num_qubits() >= qc.num_qubits(),
+            "noise model covers {} qubits, circuit needs {}",
+            model.num_qubits(),
+            qc.num_qubits()
+        );
+        Ok(NoisyCursor {
+            rho: DensityMatrix::new(qc.num_qubits())?,
+            model,
+            pos: 0,
+        })
+    }
+
+    /// Resumes from a previously-snapshotted density matrix at instruction
+    /// `pos` — the inverse of [`NoisyCursor::into_state`].
+    pub fn resume(rho: DensityMatrix, model: &'m NoiseModel, pos: usize) -> Self {
+        NoisyCursor { rho, model, pos }
+    }
+
+    /// Number of instructions already applied.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The current density matrix.
+    #[inline]
+    pub fn state(&self) -> &DensityMatrix {
+        &self.rho
+    }
+
+    /// Consumes the cursor, yielding the density matrix.
+    pub fn into_state(self) -> DensityMatrix {
+        self.rho
+    }
+
+    /// An independent snapshot of the paused evolution; replaying a fork
+    /// never mutates the original.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// Applies one gate followed by the channels the model prescribes for
+    /// it — the same primitive [`advance_to`](NoisyCursor::advance_to) uses
+    /// per instruction, exposed so a fault injector can splice an
+    /// out-of-circuit gate (which then suffers gate noise like any physical
+    /// gate) without moving the instruction position.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.rho.apply_gate(gate, qubits);
+        for (ch, targets) in self.model.channels_after(gate, qubits) {
+            self.rho.apply_superoperator(ch.superoperator(), &targets);
+        }
+    }
+
+    /// Applies instructions `[position, upto)` of `qc`: gates evolve the
+    /// state under noise, barriers and measurements are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `upto` is behind the cursor or beyond the circuit.
+    pub fn advance_to(&mut self, qc: &QuantumCircuit, upto: usize) {
+        assert!(
+            upto >= self.pos,
+            "cursor at {} cannot rewind to {upto}",
+            self.pos
+        );
+        assert!(
+            upto <= qc.size(),
+            "advance_to({upto}) beyond circuit of {} instructions",
+            qc.size()
+        );
+        for op in &qc.ops()[self.pos..upto] {
+            if let Op::Gate { gate, qubits } = op {
+                self.apply_gate(*gate, qubits);
+            }
+        }
+        self.pos = upto;
+    }
+
+    /// Applies every remaining instruction of `qc`.
+    pub fn advance_to_end(&mut self, qc: &QuantumCircuit) {
+        self.advance_to(qc, qc.size());
+    }
+
+    /// Completes the run: readout confusion on the qubit distribution,
+    /// then marginalization through `qc`'s measurement map (the full qubit
+    /// distribution when the circuit has no measurements).
+    pub fn finish(self, qc: &QuantumCircuit) -> ProbDist {
+        let mut dist = self.rho.probabilities();
+        dist = apply_readout_errors(&dist, self.model.readout_errors());
+        let map = qc.measurement_map();
+        if map.is_empty() {
+            dist
+        } else {
+            dist.marginalize(&map, qc.num_clbits())
+        }
+    }
+}
 
 /// Evolves the density matrix of `qc` under `model`'s gate noise.
 ///
@@ -23,22 +168,9 @@ use qufi_sim::{DensityMatrix, ProbDist, QuantumCircuit, SimError};
 ///
 /// Panics if the model covers fewer qubits than the circuit uses.
 pub fn evolve_noisy(qc: &QuantumCircuit, model: &NoiseModel) -> Result<DensityMatrix, SimError> {
-    assert!(
-        model.num_qubits() >= qc.num_qubits(),
-        "noise model covers {} qubits, circuit needs {}",
-        model.num_qubits(),
-        qc.num_qubits()
-    );
-    let mut rho = DensityMatrix::new(qc.num_qubits())?;
-    for op in qc.instructions() {
-        if let Op::Gate { gate, qubits } = op {
-            rho.apply_gate(*gate, qubits);
-            for (ch, targets) in model.channels_after(*gate, qubits) {
-                rho.apply_superoperator(ch.superoperator(), &targets);
-            }
-        }
-    }
-    Ok(rho)
+    let mut cursor = NoisyCursor::start(qc, model)?;
+    cursor.advance_to_end(qc);
+    Ok(cursor.into_state())
 }
 
 /// Full noisy execution: gate noise, readout confusion, marginalization to
@@ -48,15 +180,9 @@ pub fn evolve_noisy(qc: &QuantumCircuit, model: &NoiseModel) -> Result<DensityMa
 ///
 /// Returns an error when the register exceeds the engine's width limit.
 pub fn run_noisy(qc: &QuantumCircuit, model: &NoiseModel) -> Result<ProbDist, SimError> {
-    let rho = evolve_noisy(qc, model)?;
-    let mut dist = rho.probabilities();
-    dist = apply_readout_errors(&dist, model.readout_errors());
-    let map = qc.measurement_map();
-    Ok(if map.is_empty() {
-        dist
-    } else {
-        dist.marginalize(&map, qc.num_clbits())
-    })
+    let mut cursor = NoisyCursor::start(qc, model)?;
+    cursor.advance_to_end(qc);
+    Ok(cursor.finish(qc))
 }
 
 #[cfg(test)]
@@ -139,5 +265,74 @@ mod tests {
     fn model_narrower_than_circuit_panics() {
         let qc = bell();
         let _ = evolve_noisy(&qc, &NoiseModel::ideal(1));
+    }
+
+    /// A four-gate noisy circuit split at every boundary: the resumed
+    /// evolution must be *bit-identical* to the straight run — the exact
+    /// guarantee the fork-sweep differential suite relies on.
+    #[test]
+    fn resumed_run_is_bit_identical_to_straight_run() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).cx(0, 1).sx(2).cx(1, 2).x(0);
+        qc.measure_all();
+        let model = BackendCalibration::jakarta()
+            .restrict(&[0, 1, 2])
+            .noise_model();
+        let straight = run_noisy(&qc, &model).unwrap();
+        for k in 0..=qc.size() {
+            let mut prefix = NoisyCursor::start(&qc, &model).unwrap();
+            prefix.advance_to(&qc, k);
+            let snapshot = prefix.state().snapshot();
+            let mut resumed = NoisyCursor::resume(snapshot, &model, k);
+            resumed.advance_to_end(&qc);
+            let dist = resumed.finish(&qc);
+            for i in 0..dist.len() {
+                assert!(
+                    dist.prob(i).to_bits() == straight.prob(i).to_bits(),
+                    "split at {k}: outcome {i} differs"
+                );
+            }
+        }
+    }
+
+    /// Forking a cursor and finishing the fork leaves the parked prefix
+    /// untouched, so many faults can replay from one snapshot.
+    #[test]
+    fn fork_replays_do_not_mutate_the_prefix() {
+        let qc = bell();
+        let model = BackendCalibration::lima().restrict(&[0, 1]).noise_model();
+        let mut prefix = NoisyCursor::start(&qc, &model).unwrap();
+        prefix.advance_to(&qc, 1);
+        let before = prefix.state().clone();
+        for gate in [Gate::X, Gate::U(0.3, 1.2, 0.0)] {
+            let mut fork = prefix.fork();
+            fork.apply_gate(gate, &[0]);
+            fork.advance_to_end(&qc);
+            let _ = fork.finish(&qc);
+        }
+        assert_eq!(prefix.state(), &before);
+        assert_eq!(prefix.position(), 1);
+    }
+
+    /// The spliced-gate primitive matches inserting the same gate into the
+    /// circuit and running straight — including the gate's own noise.
+    #[test]
+    fn spliced_gate_matches_inserted_gate() {
+        let qc = bell();
+        let model = BackendCalibration::jakarta()
+            .restrict(&[0, 1])
+            .noise_model();
+        let mut spliced = qc.clone();
+        spliced.insert(1, Gate::U(0.7, 0.4, 0.0), &[0]);
+        let straight = run_noisy(&spliced, &model).unwrap();
+
+        let mut cursor = NoisyCursor::start(&qc, &model).unwrap();
+        cursor.advance_to(&qc, 1);
+        cursor.apply_gate(Gate::U(0.7, 0.4, 0.0), &[0]);
+        cursor.advance_to_end(&qc);
+        let forked = cursor.finish(&qc);
+        for i in 0..forked.len() {
+            assert_eq!(forked.prob(i).to_bits(), straight.prob(i).to_bits());
+        }
     }
 }

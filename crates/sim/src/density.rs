@@ -241,6 +241,14 @@ impl DensityMatrix {
         acc.re
     }
 
+    /// An independent copy of the state — one `memcpy` of the `4^n`-entry
+    /// density buffer. The sweep engine snapshots a prefix evolution once
+    /// and replays many fault suffixes from the copies; mutating a
+    /// snapshot never affects the original.
+    pub fn snapshot(&self) -> DensityMatrix {
+        self.clone()
+    }
+
     /// `true` when `ρ ≈ ρ†` within `tol`.
     pub fn is_hermitian(&self, tol: f64) -> bool {
         for i in 0..self.dim {

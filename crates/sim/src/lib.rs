@@ -11,6 +11,9 @@
 //! * [`DensityMatrix`] — exact mixed-state simulation supporting Kraus
 //!   channels, over which noise models and faults are applied (the
 //!   "simulation of a physical machine" scenario).
+//! * [`CircuitCursor`] — resumable evolution for both engines: run a prefix
+//!   once, snapshot, and replay many suffixes bit-identically (the substrate
+//!   of the forked-state fault-sweep engine in `qufi-core`).
 //! * [`ProbDist`] / [`Counts`] — output probability distributions and
 //!   finite-shot sampling (the paper uses 1024 shots per circuit).
 //! * [`qasm`] — OpenQASM 2.0 export/import so faulty circuits can be run on
@@ -39,6 +42,7 @@
 
 pub mod circuit;
 pub mod counts;
+pub mod cursor;
 pub mod density;
 pub mod diagram;
 pub mod error;
@@ -51,6 +55,7 @@ pub mod unitary;
 
 pub use circuit::{Instruction, Op, QuantumCircuit};
 pub use counts::{Counts, ProbDist};
+pub use cursor::{CircuitCursor, EvolvableState};
 pub use density::DensityMatrix;
 pub use error::SimError;
 pub use gate::Gate;

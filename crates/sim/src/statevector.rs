@@ -162,6 +162,14 @@ impl Statevector {
     pub fn norm(&self) -> f64 {
         self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
     }
+
+    /// An independent copy of the state — one `memcpy` of the `2^n`
+    /// amplitude buffer. The sweep engine snapshots a prefix evolution
+    /// once and replays many fault suffixes from the copies; mutating a
+    /// snapshot never affects the original.
+    pub fn snapshot(&self) -> Statevector {
+        self.clone()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,153 @@
+//! Property tests for resumable evolution: random circuits, random split
+//! points — "evolve prefix, snapshot, evolve suffix" must equal "evolve the
+//! whole circuit" on both engines, and replays from one snapshot must never
+//! mutate it. These are the substrate guarantees the campaign layer's
+//! fork-sweep differential suite builds on.
+
+use proptest::prelude::*;
+use qufi_sim::{CircuitCursor, DensityMatrix, Gate, QuantumCircuit, Statevector};
+
+/// A random gate over `n` qubits (1- and 2-qubit, parametrized included).
+fn arb_gate(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    let q = 0..n;
+    let angle = -std::f64::consts::PI..std::f64::consts::PI;
+    prop_oneof![
+        q.clone().prop_map(|a| (Gate::H, vec![a])),
+        q.clone().prop_map(|a| (Gate::X, vec![a])),
+        q.clone().prop_map(|a| (Gate::S, vec![a])),
+        q.clone().prop_map(|a| (Gate::T, vec![a])),
+        q.clone().prop_map(|a| (Gate::Sx, vec![a])),
+        (angle.clone(), q.clone()).prop_map(|(t, a)| (Gate::Ry(t), vec![a])),
+        (angle.clone(), q.clone()).prop_map(|(t, a)| (Gate::Rz(t), vec![a])),
+        (angle.clone(), angle.clone(), angle.clone(), q.clone())
+            .prop_map(|(t, p, l, a)| (Gate::U(t, p, l), vec![a])),
+        (q.clone(), q.clone())
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| (Gate::Cx, vec![a, b])),
+        (angle, q.clone(), q)
+            .prop_filter("distinct", |(_, a, b)| a != b)
+            .prop_map(|(l, a, b)| (Gate::Cp(l), vec![a, b])),
+    ]
+}
+
+/// A random measured circuit (with occasional barriers, which cursors must
+/// skip exactly like the straight-line entry points do).
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = QuantumCircuit> {
+    prop::collection::vec((arb_gate(n), any::<bool>()), 1..max_gates).prop_map(move |gates| {
+        let mut qc = QuantumCircuit::new(n, n);
+        for (i, ((g, qs), barrier)) in gates.into_iter().enumerate() {
+            qc.append(g, &qs);
+            if barrier && i % 3 == 0 {
+                qc.barrier(&[]);
+            }
+        }
+        qc.measure_all();
+        qc
+    })
+}
+
+fn assert_states_equal(a: &Statevector, b: &Statevector, what: &str) {
+    for i in 0..a.amplitudes().len() {
+        let (x, y) = (a.amp(i), b.amp(i));
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{what}: amplitude {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Statevector: prefix + suffix from a snapshot is bit-identical to a
+    /// straight run, for a random split index.
+    #[test]
+    fn split_statevector_matches_whole(qc in arb_circuit(4, 24), split in 0usize..64) {
+        let whole = Statevector::from_circuit(&qc).expect("fits");
+        let k = split % (qc.size() + 1);
+        let mut cursor = CircuitCursor::<Statevector>::start(&qc).expect("fits");
+        cursor.advance_to(&qc, k);
+        let mut fork = cursor.fork();
+        fork.advance_to_end(&qc);
+        assert_states_equal(fork.state(), &whole, "split run");
+    }
+
+    /// Density matrix: same property, checked entry-by-entry bitwise.
+    #[test]
+    fn split_density_matrix_matches_whole(qc in arb_circuit(3, 16), split in 0usize..64) {
+        let mut whole = DensityMatrix::new(3).expect("fits");
+        whole.run_circuit(&qc);
+        let k = split % (qc.size() + 1);
+        let mut cursor = CircuitCursor::<DensityMatrix>::start(&qc).expect("fits");
+        cursor.advance_to(&qc, k);
+        let mut fork = cursor.fork();
+        fork.advance_to_end(&qc);
+        let dim = whole.dim();
+        for i in 0..dim {
+            for j in 0..dim {
+                let (x, y) = (fork.state().entry(i, j), whole.entry(i, j));
+                prop_assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "entry ({i},{j}) differs after split at {k}: {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    /// Replaying two different faults from one cursor leaves the snapshot
+    /// unmutated, and each replay matches its own from-scratch run.
+    #[test]
+    fn snapshot_survives_two_fault_replays(
+        qc in arb_circuit(3, 16),
+        split in 0usize..64,
+        theta in 0.0..std::f64::consts::PI,
+        phi in 0.0..(2.0 * std::f64::consts::PI),
+    ) {
+        let k = split % (qc.size() + 1);
+        let site = {
+            // Splice on the qubit of the last gate before the split (or 0).
+            qc.ops()[..k]
+                .iter()
+                .rev()
+                .find_map(|op| match op {
+                    qufi_sim::Op::Gate { qubits, .. } => Some(qubits[0]),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        let mut cursor = CircuitCursor::<Statevector>::start(&qc).expect("fits");
+        cursor.advance_to(&qc, k);
+        let parked = cursor.state().snapshot();
+
+        for fault in [Gate::U(theta, phi, 0.0), Gate::U(phi / 2.0, theta, 0.0)] {
+            // Replay from the shared cursor...
+            let mut fork = cursor.fork();
+            fork.apply_gate(fault, &[site]);
+            fork.advance_to_end(&qc);
+            // ...and independently from scratch.
+            let mut scratch = CircuitCursor::<Statevector>::start(&qc).expect("fits");
+            scratch.advance_to(&qc, k);
+            scratch.apply_gate(fault, &[site]);
+            scratch.advance_to_end(&qc);
+            assert_states_equal(fork.state(), scratch.state(), "replay vs scratch");
+            // The parked snapshot never moves.
+            assert_states_equal(cursor.state(), &parked, "snapshot mutated");
+            prop_assert_eq!(cursor.position(), k);
+        }
+    }
+
+    /// `measurement_distribution` after a cursor run equals the one from
+    /// the monolithic entry point — readout bookkeeping is split-agnostic.
+    #[test]
+    fn cursor_distribution_matches_from_circuit(qc in arb_circuit(4, 20), split in 0usize..64) {
+        let k = split % (qc.size() + 1);
+        let mut cursor = CircuitCursor::<Statevector>::start(&qc).expect("fits");
+        cursor.advance_to(&qc, k);
+        cursor.advance_to_end(&qc);
+        let via_cursor = cursor.state().measurement_distribution(&qc);
+        let direct = Statevector::from_circuit(&qc)
+            .expect("fits")
+            .measurement_distribution(&qc);
+        prop_assert!(via_cursor.tv_distance(&direct) < 1e-15);
+    }
+}

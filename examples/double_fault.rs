@@ -25,6 +25,7 @@ fn main() -> Result<(), ExecError> {
             grid: grid.clone(),
             points: None,
             threads: 0,
+            naive: false,
         },
     )?;
     let double = run_double_campaign(
@@ -36,6 +37,7 @@ fn main() -> Result<(), ExecError> {
             points: None,
             pairs,
             threads: 0,
+            naive: false,
         },
     )?;
 

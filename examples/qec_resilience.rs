@@ -14,7 +14,7 @@
 use qufi::algos::qec::{bit_flip_code, unprotected, CodeWorkload};
 use qufi::prelude::*;
 
-fn campaign_on_window(code: &CodeWorkload, ex: &impl Executor) -> CampaignResult {
+fn campaign_on_window(code: &CodeWorkload, ex: &impl SweepExecutor) -> CampaignResult {
     // Inject only inside the idle window between encode and decode.
     let points: Vec<InjectionPoint> = enumerate_injection_points(&code.workload.circuit)
         .into_iter()
@@ -24,6 +24,7 @@ fn campaign_on_window(code: &CodeWorkload, ex: &impl Executor) -> CampaignResult
         grid: FaultGrid::paper(),
         points: Some(points),
         threads: 0,
+        naive: false,
     };
     run_single_campaign(
         &code.workload.circuit,

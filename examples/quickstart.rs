@@ -32,7 +32,8 @@ fn main() -> Result<(), ExecError> {
         .into_iter()
         .find(|p| p.qubit == 0)
         .expect("qubit 0 has gates");
-    let faulty_circuit = inject_fault(&w.circuit, point, FaultParams::shift(FRAC_PI_4, 0.0));
+    let faulty_circuit =
+        inject_fault(&w.circuit, point, FaultParams::shift(FRAC_PI_4, 0.0)).expect("in range");
     let faulty = executor.execute(&faulty_circuit)?;
     println!("faulty output (θ=π/4 on q0 after op {}):", point.op_index);
     for (bits, p) in faulty.iter_nonzero() {

@@ -26,12 +26,14 @@
 //! // Build the paper's Fig. 4 scenario and score one fault.
 //! let w = qufi::algos::bernstein_vazirani(0b101, 3);
 //! let executor = NoisyExecutor::new(qufi::noise::BackendCalibration::jakarta());
-//! let faulty = inject_fault(
-//!     &w.circuit,
-//!     InjectionPoint { op_index: 2, qubit: 0 },
-//!     FaultParams::shift(std::f64::consts::FRAC_PI_4, 0.0),
-//! );
-//! let dist = executor.execute(&faulty).unwrap();
+//! // Prepare the injection point once (transpile + shared-prefix
+//! // evolution), then replay faults from the snapshot.
+//! let prepared = executor
+//!     .prepare(&w.circuit, InjectionPoint { op_index: 2, qubit: 0 })
+//!     .unwrap();
+//! let dist = prepared
+//!     .replay(FaultParams::shift(std::f64::consts::FRAC_PI_4, 0.0))
+//!     .unwrap();
 //! let qvf = qufi::core::metrics::qvf_from_dist(&dist, &w.correct_outputs);
 //! assert!(qvf < 0.45, "a θ=π/4 shift is masked on BV (Fig. 4)");
 //! ```

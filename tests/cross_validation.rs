@@ -108,7 +108,7 @@ proptest! {
         let points = enumerate_injection_points(&qc);
         prop_assume!(!points.is_empty());
         let point = points[point_sel % points.len()];
-        let faulty = inject_fault(&qc, point, FaultParams::shift(0.0, 0.0));
+        let faulty = inject_fault(&qc, point, FaultParams::shift(0.0, 0.0)).expect("in range");
         let a = Statevector::from_circuit(&qc).expect("fits").measurement_distribution(&qc);
         let b = Statevector::from_circuit(&faulty).expect("fits").measurement_distribution(&faulty);
         prop_assert!(a.tv_distance(&b) < 1e-9);

@@ -71,7 +71,7 @@ fn faulty_circuits_export_to_qasm_and_back() {
     // load and execute the circuits on different systems" (§IV-B).
     let w = bernstein_vazirani(0b101, 3);
     let point = enumerate_injection_points(&w.circuit)[3];
-    let faulty = inject_fault(&w.circuit, point, FaultParams::shift(1.0, 2.0));
+    let faulty = inject_fault(&w.circuit, point, FaultParams::shift(1.0, 2.0)).expect("in range");
     let text = qasm::to_qasm(&faulty);
     assert!(text.contains("u("), "injector gate missing from QASM");
     let back = qasm::from_qasm(&text).expect("parses");
@@ -87,7 +87,7 @@ fn transpiled_faulty_circuit_matches_logical_fault_semantics() {
     // only merge it, preserving semantics).
     let w = bernstein_vazirani(0b101, 3);
     let point = enumerate_injection_points(&w.circuit)[5];
-    let faulty = inject_fault(&w.circuit, point, FaultParams::shift(0.7, 1.3));
+    let faulty = inject_fault(&w.circuit, point, FaultParams::shift(0.7, 1.3)).expect("in range");
     let t = Transpiler::new(CouplingMap::ibm_h7(), OptimizationLevel::Level3);
     let routed = t.run(&faulty).expect("transpiles");
     let logical = IdealExecutor.execute(&faulty).expect("runs");

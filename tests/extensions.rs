@@ -9,7 +9,11 @@ use qufi::core::serialize;
 use qufi::noise::mitigation;
 use qufi::prelude::*;
 
-fn coarse_campaign(qc: &QuantumCircuit, golden: &[usize], ex: &impl Executor) -> CampaignResult {
+fn coarse_campaign(
+    qc: &QuantumCircuit,
+    golden: &[usize],
+    ex: &impl SweepExecutor,
+) -> CampaignResult {
     run_single_campaign(qc, golden, ex, &CampaignOptions::coarse()).expect("campaign")
 }
 
@@ -51,6 +55,7 @@ fn shot_based_qvf_estimates_track_exact_values() {
         grid,
         points: None,
         threads: 0,
+        naive: false,
     };
     let exact = run_single_campaign(&w.circuit, &w.correct_outputs, &exact_ex, &opts).unwrap();
     let shots = run_single_campaign(&w.circuit, &w.correct_outputs, &shot_ex, &opts).unwrap();
@@ -143,6 +148,7 @@ fn qec_workload_masks_more_faults_than_unprotected() {
                 grid: FaultGrid::coarse(),
                 points: Some(window(c)),
                 threads: 0,
+                naive: false,
             },
         )
         .expect("campaign")

@@ -10,11 +10,12 @@ fn noisy() -> NoisyExecutor {
     NoisyExecutor::new(BackendCalibration::jakarta())
 }
 
-fn campaign(w: &Workload, ex: &impl Executor, grid: FaultGrid) -> CampaignResult {
+fn campaign(w: &Workload, ex: &impl SweepExecutor, grid: FaultGrid) -> CampaignResult {
     let opts = CampaignOptions {
         grid,
         points: None,
         threads: 0,
+        naive: false,
     };
     run_single_campaign(&w.circuit, &w.correct_outputs, ex, &opts).expect("campaign")
 }
@@ -112,6 +113,7 @@ fn qft_concentrates_with_scale_bv_does_not() {
             grid: grid.clone(),
             points: Some(points),
             threads: 0,
+            naive: false,
         };
         run_single_campaign(&w.circuit, &w.correct_outputs, &ex, &opts)
             .expect("campaign")
@@ -152,6 +154,7 @@ fn double_faults_are_worse_than_single_faults() {
             points: None,
             pairs,
             threads: 0,
+            naive: false,
         },
     )
     .expect("double campaign");
@@ -179,6 +182,7 @@ fn hardware_and_simulation_agree() {
             grid,
             points: None,
             threads: 0,
+            naive: false,
         };
         let a = run_single_campaign(&w.circuit, &w.correct_outputs, &hw, &opts)
             .expect("hw campaign")
