@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qufi_algos::bernstein_vazirani;
 use qufi_core::campaign::{golden_outputs, run_point_sweep, run_point_sweep_naive};
+use qufi_core::engine::SweepExecutor;
 use qufi_core::executor::{Executor, NoisyExecutor};
 use qufi_core::fault::{enumerate_injection_points, FaultGrid};
 use qufi_noise::{simulate, BackendCalibration, KrausChannel};
@@ -132,9 +133,31 @@ fn bench_sweep_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Grid-parallel replay on one prepared point — the BENCHMARKS.md
+/// per-point numbers for the two-level thread model. Per iteration: all
+/// 312 paper configurations of one bv-4/jakarta injection point, replayed
+/// from the parked snapshot across 1/2/4 grid threads.
+fn bench_replay_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_grid");
+    group.sample_size(10);
+    let w = bernstein_vazirani(0b101, 3);
+    let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+    let points = enumerate_injection_points(&w.circuit);
+    let point = points[points.len() / 2];
+    let prepared = ex.prepare(&w.circuit, point).expect("prepare");
+    let grid = FaultGrid::paper();
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("bv4_paper312_t{threads}"), |b| {
+            b.iter(|| prepared.replay_grid(&grid, threads).expect("grid replay"))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_statevector, bench_density, bench_pipeline, bench_sweep_engine
+    targets = bench_statevector, bench_density, bench_pipeline, bench_sweep_engine,
+        bench_replay_grid
 }
 criterion_main!(benches);

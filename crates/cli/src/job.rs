@@ -10,7 +10,7 @@
 
 use crate::error::CliError;
 use crate::manifest::{ExecutorKind, Manifest};
-use qufi_core::campaign::{golden_outputs, run_point_sweep};
+use qufi_core::campaign::{golden_outputs, run_point_sweep_parallel};
 use qufi_core::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
 use qufi_core::fault::{enumerate_injection_points, FaultGrid, InjectionPoint};
 use qufi_core::{ExecError, InjectionRecord};
@@ -180,15 +180,37 @@ impl JobRuntime {
         point: InjectionPoint,
         grid: &FaultGrid,
     ) -> Result<Vec<InjectionRecord>, ExecError> {
+        self.run_point_split(point, grid, 1)
+    }
+
+    /// [`JobRuntime::run_point`] with the grid fanned across `grid_threads`
+    /// threads — the second level of the scheduler's thread split. Records
+    /// are bit-identical for every `grid_threads` value (see
+    /// [`qufi_core::engine::PreparedSweep::replay_grid`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution failure.
+    pub fn run_point_split(
+        &self,
+        point: InjectionPoint,
+        grid: &FaultGrid,
+        grid_threads: usize,
+    ) -> Result<Vec<InjectionRecord>, ExecError> {
+        let (qc, golden) = (&self.circuit, &self.golden[..]);
         match &self.executor {
-            JobExecutor::Ideal(ex) => run_point_sweep(&self.circuit, &self.golden, ex, point, grid),
-            JobExecutor::Noisy(ex) => run_point_sweep(&self.circuit, &self.golden, ex, point, grid),
+            JobExecutor::Ideal(ex) => {
+                run_point_sweep_parallel(qc, golden, ex, point, grid, grid_threads)
+            }
+            JobExecutor::Noisy(ex) => {
+                run_point_sweep_parallel(qc, golden, ex, point, grid, grid_threads)
+            }
             JobExecutor::Hardware { .. } => {
                 let ex = self
                     .executor
                     .hardware_for_point(point.op_index, point.qubit)
                     .expect("hardware variant");
-                run_point_sweep(&self.circuit, &self.golden, &ex, point, grid)
+                run_point_sweep_parallel(qc, golden, &ex, point, grid, grid_threads)
             }
         }
     }

@@ -54,7 +54,7 @@ pub use error::CliError;
 pub use export::{export_artifacts, ExportReport};
 pub use job::{job_matrix, JobSpec};
 pub use manifest::{ExecutorKind, GridSpec, Manifest};
-pub use runner::{run_campaign, JobOutcome, RunOptions, RunStatus, RunSummary};
+pub use runner::{dry_run_plan, run_campaign, JobOutcome, RunOptions, RunStatus, RunSummary};
 
 use std::fs;
 use std::path::{Path, PathBuf};

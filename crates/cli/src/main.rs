@@ -1,7 +1,7 @@
 //! `qufi` — campaign orchestration for the QuFI fault injector.
 //!
 //! ```text
-//! qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet]
+//! qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet] [--dry-run]
 //! qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet]
 //! qufi export <campaign-dir>
 //! qufi list {workloads|backends|grids}
@@ -11,8 +11,8 @@
 //! (resume to continue), `1` any error.
 
 use qufi_cli::{
-    default_out_dir, export_artifacts, load_stored_manifest, resume, run_to_completion, CliError,
-    GridSpec, Manifest, RunOptions, RunStatus,
+    default_out_dir, dry_run_plan, export_artifacts, load_stored_manifest, resume,
+    run_to_completion, CliError, GridSpec, Manifest, RunOptions, RunStatus,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -21,7 +21,7 @@ const USAGE: &str = "\
 qufi — QuFI campaign orchestration
 
 USAGE:
-    qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet]
+    qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet] [--dry-run]
     qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet]
     qufi export <campaign-dir>
     qufi list {workloads|backends|grids}
@@ -38,6 +38,8 @@ OPTIONS:
     --threads N    Override the manifest's worker-thread count
     --budget N     Stop after N injection points (graceful; resume later)
     --quiet        Suppress progress reporting on stderr
+    --dry-run      (run only) Print the resolved job × point × config task
+                   matrix and thread split without executing anything
 ";
 
 fn main() -> ExitCode {
@@ -73,6 +75,7 @@ struct CommonFlags {
     positional: Vec<String>,
     out: Option<PathBuf>,
     opts: RunOptions,
+    dry_run: bool,
 }
 
 fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
@@ -80,10 +83,12 @@ fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
         positional: Vec::new(),
         out: None,
         opts: RunOptions::default(),
+        dry_run: false,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--dry-run" => flags.dry_run = true,
             "--out" => flags.out = Some(PathBuf::from(take_value(&mut iter, "--out")?)),
             "--threads" => {
                 flags.opts.threads = Some(parse_number(&take_value(&mut iter, "--threads")?)?)
@@ -138,6 +143,10 @@ fn cmd_run(args: Vec<String>) -> Result<ExitCode, CliError> {
     let text = std::fs::read_to_string(manifest_path)
         .map_err(|e| CliError::io("reading manifest", manifest_path, e))?;
     let manifest = Manifest::from_toml(&text)?;
+    if flags.dry_run {
+        print!("{}", dry_run_plan(&manifest, &flags.opts)?);
+        return Ok(ExitCode::SUCCESS);
+    }
     let out_dir = flags.out.unwrap_or_else(|| default_out_dir(&manifest));
     let outcome = run_to_completion(&manifest, &out_dir, &flags.opts)?;
     if !flags.opts.quiet {
@@ -146,8 +155,18 @@ fn cmd_run(args: Vec<String>) -> Result<ExitCode, CliError> {
     Ok(finish(outcome, &out_dir, flags.opts.quiet))
 }
 
+/// `--dry-run` must never be silently ignored: outside `qufi run` it would
+/// read as "preview only" while the command does its real work.
+fn reject_dry_run(flags: &CommonFlags) -> Result<(), CliError> {
+    if flags.dry_run {
+        return Err(CliError::usage("--dry-run only applies to `qufi run`"));
+    }
+    Ok(())
+}
+
 fn cmd_resume(args: Vec<String>) -> Result<ExitCode, CliError> {
     let flags = parse_flags(args)?;
+    reject_dry_run(&flags)?;
     let [dir] = &flags.positional[..] else {
         return Err(CliError::usage(
             "resume takes exactly one campaign directory",
@@ -163,6 +182,7 @@ fn cmd_resume(args: Vec<String>) -> Result<ExitCode, CliError> {
 
 fn cmd_export(args: Vec<String>) -> Result<ExitCode, CliError> {
     let flags = parse_flags(args)?;
+    reject_dry_run(&flags)?;
     let [dir] = &flags.positional[..] else {
         return Err(CliError::usage(
             "export takes exactly one campaign directory",
@@ -183,6 +203,7 @@ fn cmd_export(args: Vec<String>) -> Result<ExitCode, CliError> {
 
 fn cmd_list(args: Vec<String>) -> Result<ExitCode, CliError> {
     let flags = parse_flags(args)?;
+    reject_dry_run(&flags)?;
     let [what] = &flags.positional[..] else {
         return Err(CliError::usage(
             "list takes one of: workloads, backends, grids",

@@ -160,7 +160,18 @@ pub fn run_campaign(
     let executed = AtomicUsize::new(0);
     let stopped = AtomicBool::new(false);
     let first_error: Mutex<Option<CliError>> = Mutex::new(None);
-    let n_threads = resolve_threads(manifest, opts).min(total_pending.max(1));
+    // Two-level split of the thread budget: point workers pull (job, point)
+    // tasks from the queue; each point fans its fault grid across the
+    // leftover per-worker threads. Results are byte-identical for every
+    // split (and every budget), so this is purely a scheduling choice.
+    let (n_threads, grid_threads) =
+        qufi_core::campaign::split_thread_budget(resolve_threads(manifest, opts), total_pending);
+    if !opts.quiet && total_pending > 0 {
+        eprintln!(
+            "[threads] {n_threads} point worker(s) × {grid_threads} grid thread(s) \
+             for {total_pending} pending point(s)"
+        );
+    }
 
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
@@ -184,7 +195,7 @@ pub fn run_campaign(
                         return;
                     }
                     let job = &jobs[job_idx];
-                    match job.runtime.run_point(point, grid) {
+                    match job.runtime.run_point_split(point, grid, grid_threads) {
                         Ok(shard) => {
                             let guard = job.append_lock.lock();
                             if let Err(e) = store.append_records(&job.meta.id, &shard) {
@@ -244,6 +255,64 @@ pub fn run_campaign(
         points_resumed,
         elapsed: started.elapsed(),
     })
+}
+
+/// The `qufi run --dry-run` report: the resolved job × point × config task
+/// matrix, the two-level thread split, and total task counts — computed
+/// without executing a single circuit (workloads are *built* to count
+/// their injection points, never simulated).
+///
+/// # Errors
+///
+/// Grid resolution failures and unknown workload/backend names.
+pub fn dry_run_plan(manifest: &Manifest, opts: &RunOptions) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let grid = manifest.grid.to_grid()?;
+    let specs = job_matrix(manifest);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dry run: campaign {:?} ({} executor), {} θ × {} φ = {} configurations per point",
+        manifest.name,
+        manifest.executor.keyword(),
+        grid.thetas.len(),
+        grid.phis.len(),
+        grid.len()
+    );
+    let id_width = specs.iter().map(|s| s.id().len()).max().unwrap_or(0);
+    let mut total_points = 0usize;
+    let mut total_tasks = 0usize;
+    for spec in &specs {
+        if spec.backend != crate::job::LOGICAL_BACKEND {
+            qufi_noise::BackendCalibration::named(&spec.backend)
+                .ok_or_else(|| CliError::manifest(format!("unknown backend {:?}", spec.backend)))?;
+        }
+        let workload = qufi_algos::build_workload(&spec.workload)
+            .map_err(|e| CliError::manifest(e.to_string()))?;
+        let points = qufi_core::fault::enumerate_injection_points(&workload.circuit).len();
+        let tasks = points * grid.len();
+        total_points += points;
+        total_tasks += tasks;
+        let _ = writeln!(
+            out,
+            "  job {:<id_width$}  {points:>4} points × {:>4} configs = {tasks:>7} injections",
+            spec.id(),
+            grid.len(),
+        );
+    }
+    let threads = resolve_threads(manifest, opts);
+    let (workers, grid_threads) = qufi_core::campaign::split_thread_budget(threads, total_points);
+    let _ = writeln!(
+        out,
+        "  total: {} jobs, {total_points} injection points, {total_tasks} injections",
+        specs.len()
+    );
+    let _ = writeln!(
+        out,
+        "  threads: {threads} budget → {workers} point worker(s) × {grid_threads} grid thread(s)"
+    );
+    let _ = writeln!(out, "  nothing executed (dry run)");
+    Ok(out)
 }
 
 fn resolve_threads(manifest: &Manifest, opts: &RunOptions) -> usize {
@@ -385,6 +454,45 @@ mod tests {
         assert_eq!(second.points_resumed, 2);
         assert!(second.jobs.iter().all(JobOutcome::is_complete));
         let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn dry_run_reports_the_task_matrix_and_thread_split() {
+        let m = Manifest::from_toml(
+            "[campaign]\nname = \"plan\"\nthreads = 8\nexecutor = \"noisy\"\n\
+             workloads = [\"bv-3\"]\nbackends = [\"lima\"]\n\
+             [grid]\nthetas = [0.0, 1.0]\nphis = [0.0]\n",
+        )
+        .unwrap();
+        let plan = dry_run_plan(&m, &RunOptions::default()).unwrap();
+        assert!(plan.starts_with("dry run: campaign \"plan\""), "{plan}");
+        assert!(plan.contains("bv-3@lima"), "{plan}");
+        assert!(plan.contains("2 θ × 1 φ = 2 configurations"), "{plan}");
+        assert!(plan.contains("nothing executed"), "{plan}");
+        assert!(plan.contains("point worker(s)"), "{plan}");
+        // The --threads override wins over the manifest budget.
+        let overridden = dry_run_plan(
+            &m,
+            &RunOptions {
+                threads: Some(3),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(overridden.contains("threads: 3 budget"), "{overridden}");
+    }
+
+    #[test]
+    fn dry_run_rejects_unknown_names() {
+        let m = Manifest::from_toml(
+            "[campaign]\nexecutor = \"noisy\"\nworkloads = [\"bv-3\"]\n\
+             backends = [\"lima\"]\n",
+        )
+        .unwrap();
+        let mut bad = m.clone();
+        bad.backends = vec!["nonexistent".into()];
+        let err = dry_run_plan(&bad, &RunOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("unknown backend"), "{err}");
     }
 
     #[test]

@@ -279,7 +279,50 @@ pub fn run_point_sweep<E: SweepExecutor + ?Sized>(
     point: InjectionPoint,
     grid: &FaultGrid,
 ) -> Result<Vec<InjectionRecord>, ExecError> {
-    point_sweep_impl(qc, golden, executor, point, grid, false)
+    run_point_sweep_parallel(qc, golden, executor, point, grid, 1)
+}
+
+/// [`run_point_sweep`] with the grid fanned across `grid_threads` worker
+/// threads ([`crate::engine::PreparedSweep::replay_grid`]): the point is
+/// still prepared once; the 312 replays split into deterministic contiguous
+/// chunks. Records are identical — bit-for-bit, including sampling
+/// scenarios — for every `grid_threads` value.
+///
+/// # Errors
+///
+/// The first execution error aborts the sweep.
+pub fn run_point_sweep_parallel<E: SweepExecutor + ?Sized>(
+    qc: &QuantumCircuit,
+    golden: &[usize],
+    executor: &E,
+    point: InjectionPoint,
+    grid: &FaultGrid,
+    grid_threads: usize,
+) -> Result<Vec<InjectionRecord>, ExecError> {
+    let prepared = executor.prepare(qc, point)?;
+    let dists = prepared.replay_grid(grid, grid_threads)?;
+    Ok(grid
+        .iter()
+        .zip(dists)
+        .map(|((theta, phi), dist)| InjectionRecord {
+            point,
+            theta,
+            phi,
+            qvf: qvf_from_dist(&dist, golden),
+        })
+        .collect())
+}
+
+/// Splits a total thread budget between point-level workers and per-point
+/// grid threads: `(point_workers, grid_threads)` with `point_workers ×
+/// grid_threads ≤ total`. Point-level parallelism is preferred (points
+/// amortize a transpile + prefix evolution each); leftover budget goes to
+/// the per-point grid. The split affects scheduling only — results are
+/// identical for any split.
+pub fn split_thread_budget(total: usize, points: usize) -> (usize, usize) {
+    let total = total.max(1);
+    let workers = total.min(points.max(1));
+    (workers, (total / workers).max(1))
 }
 
 /// The naive oracle variant of [`run_point_sweep`]: every configuration
@@ -299,26 +342,11 @@ pub fn run_point_sweep_naive<E: SweepExecutor + ?Sized>(
     point: InjectionPoint,
     grid: &FaultGrid,
 ) -> Result<Vec<InjectionRecord>, ExecError> {
-    point_sweep_impl(qc, golden, executor, point, grid, true)
-}
-
-fn point_sweep_impl<E: SweepExecutor + ?Sized>(
-    qc: &QuantumCircuit,
-    golden: &[usize],
-    executor: &E,
-    point: InjectionPoint,
-    grid: &FaultGrid,
-    naive: bool,
-) -> Result<Vec<InjectionRecord>, ExecError> {
     let prepared = executor.prepare(qc, point)?;
     let mut out = Vec::with_capacity(grid.len());
     for (theta, phi) in grid.iter() {
         let fault = FaultParams::shift(theta, phi);
-        let dist = if naive {
-            prepared.replay_naive(fault)?
-        } else {
-            prepared.replay(fault)?
-        };
+        let dist = prepared.replay_naive(fault)?;
         out.push(InjectionRecord {
             point,
             theta,
@@ -360,7 +388,9 @@ pub fn run_single_campaign<E: SweepExecutor>(
 
     let records = Mutex::new(Vec::with_capacity(points.len() * options.grid.len()));
     let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
-    let n_threads = options.resolve_threads().min(points.len().max(1));
+    // Two-level split: point workers pull from the queue; each point fans
+    // its grid across the leftover per-worker budget.
+    let (n_threads, grid_threads) = split_thread_budget(options.resolve_threads(), points.len());
 
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
@@ -374,7 +404,12 @@ pub fn run_single_campaign<E: SweepExecutor>(
                     if first_error.lock().is_some() {
                         return;
                     }
-                    match point_sweep_impl(qc, golden, executor, point, grid, options.naive) {
+                    let sweep = if options.naive {
+                        run_point_sweep_naive(qc, golden, executor, point, grid)
+                    } else {
+                        run_point_sweep_parallel(qc, golden, executor, point, grid, grid_threads)
+                    };
+                    match sweep {
                         Ok(records) => local.extend(records),
                         Err(e) => {
                             first_error.lock().get_or_insert(e);
@@ -471,6 +506,36 @@ mod tests {
                 (w[0].point, w[0].phi, w[0].theta) <= (w[1].point, w[1].phi, w[1].theta),
                 "records unsorted"
             );
+        }
+    }
+
+    #[test]
+    fn thread_budget_split_prefers_points_then_grid() {
+        // More points than threads: all budget to point workers.
+        assert_eq!(split_thread_budget(4, 12), (4, 1));
+        // Fewer points than threads: leftover budget goes to the grid.
+        assert_eq!(split_thread_budget(8, 3), (3, 2));
+        assert_eq!(split_thread_budget(8, 1), (1, 8));
+        // Degenerate inputs stay sane.
+        assert_eq!(split_thread_budget(0, 0), (1, 1));
+        assert_eq!(split_thread_budget(1, 100), (1, 1));
+    }
+
+    #[test]
+    fn grid_parallel_point_sweep_matches_serial() {
+        let w = bernstein_vazirani(0b101, 3);
+        let golden = golden_outputs(&w.circuit).unwrap();
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let point = InjectionPoint {
+            op_index: 2,
+            qubit: 0,
+        };
+        let grid = FaultGrid::coarse();
+        let serial = run_point_sweep(&w.circuit, &golden, &ex, point, &grid).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                run_point_sweep_parallel(&w.circuit, &golden, &ex, point, &grid, threads).unwrap();
+            assert_eq!(serial, parallel, "{threads}-thread grid sweep diverged");
         }
     }
 

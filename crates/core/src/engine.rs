@@ -30,14 +30,18 @@
 use crate::error::ExecError;
 use crate::executor::{compact_circuit, Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
 use crate::fault::{
-    check_double_site, check_fault_order, check_injection_point, FaultParams, InjectionPoint,
+    check_double_site, check_fault_order, check_injection_point, FaultGrid, FaultParams,
+    InjectionPoint,
 };
 use crate::mapping::{
     extract_splice_sites, mark_double_injection_site, mark_injection_site, SpliceSite,
 };
-use qufi_noise::simulate::NoisyCursor;
+use parking_lot::Mutex;
+use qufi_noise::simulate::{NoisePlan, NoisyCursor};
 use qufi_noise::NoiseModel;
-use qufi_sim::{CircuitCursor, DensityMatrix, ProbDist, QuantumCircuit, Statevector};
+use qufi_sim::{
+    CircuitCursor, DensityMatrix, EvolvableState, Op, ProbDist, QuantumCircuit, Statevector,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,15 +94,60 @@ impl<E: SweepExecutor + ?Sized> SweepExecutor for &E {
     }
 }
 
+/// Per-thread reusable buffers for replaying against a parked snapshot:
+/// the simulator state a replay evolves in, restored from the borrowed
+/// snapshot by a buffer-reusing copy instead of a fresh clone per replay.
+///
+/// A scratch carries no results between replays — only capacity — so one
+/// scratch per worker thread is the entire threading discipline, and a
+/// replay through a reused scratch is bit-identical to one through a fresh
+/// scratch.
+#[derive(Default)]
+pub struct ReplayScratch {
+    /// Density-matrix buffer for the noisy/hardware replay paths.
+    pub(crate) rho: Option<DensityMatrix>,
+    /// Statevector buffer for the ideal replay path.
+    pub(crate) sv: Option<Statevector>,
+}
+
+impl ReplayScratch {
+    /// An empty scratch; buffers are allocated on first replay.
+    pub fn new() -> Self {
+        ReplayScratch::default()
+    }
+}
+
 /// A parked single-fault sweep: replay any `(θ, φ)` against the snapshot.
-pub trait PreparedSweep {
+///
+/// Implementations are `Sync`: replays only *borrow* the parked snapshot
+/// (each one copies it into caller-owned [`ReplayScratch`] buffers), so any
+/// number of threads may replay concurrently against one prepared sweep —
+/// the foundation of [`PreparedSweep::replay_grid`].
+pub trait PreparedSweep: Sync {
     /// Fast path: fork the parked prefix state and finish the suffix with
     /// the injector spliced in.
     ///
     /// # Errors
     ///
     /// Simulation failures.
-    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError>;
+    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        self.replay_with(fault, &mut ReplayScratch::new())
+    }
+
+    /// [`PreparedSweep::replay`] through caller-owned scratch buffers: the
+    /// parked snapshot is copied into the scratch state (reusing its
+    /// allocation) and the suffix evolves there, so a replay loop performs
+    /// zero steady-state allocations for state buffers. Bit-identical to
+    /// [`PreparedSweep::replay`].
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures.
+    fn replay_with(
+        &self,
+        fault: FaultParams,
+        scratch: &mut ReplayScratch,
+    ) -> Result<ProbDist, ExecError>;
 
     /// Oracle path: rebuild, re-transpile and re-simulate the entire
     /// faulty circuit from scratch — the pre-engine per-configuration
@@ -110,11 +159,99 @@ pub trait PreparedSweep {
     /// Simulation and transpilation failures.
     fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError>;
 
+    /// Replays the entire `(θ, φ)` grid, chunked deterministically across
+    /// `threads` worker threads, returning one distribution per cell **in
+    /// grid order** ([`FaultGrid::iter`] order).
+    ///
+    /// Determinism contract: cells are assigned to workers by contiguous
+    /// index ranges fixed by `grid.len()` and `threads` alone, each worker
+    /// replays through its own [`ReplayScratch`], and every replay depends
+    /// only on `(self, fault)` — so the returned cells are bit-identical
+    /// for every thread count and scheduling order, including `threads =
+    /// 1`. Sampling scenarios keep this property because their seeds
+    /// derive from the fault angles, never from replay order.
+    ///
+    /// # Errors
+    ///
+    /// Any replay failure fails the whole grid (remaining workers cancel);
+    /// the reported error is from the lowest-indexed chunk that failed
+    /// before cancellation took effect.
+    fn replay_grid(&self, grid: &FaultGrid, threads: usize) -> Result<Vec<ProbDist>, ExecError> {
+        replay_grid_chunked(self, grid, threads)
+    }
+
     /// Gates evolved once at preparation time (the shared prefix).
     fn prefix_gates(&self) -> usize;
 
     /// Gates evolved per replay (the suffix, excluding the injector).
     fn suffix_gates(&self) -> usize;
+}
+
+/// The deterministic fan-out behind [`PreparedSweep::replay_grid`].
+fn replay_grid_chunked<S: PreparedSweep + ?Sized>(
+    sweep: &S,
+    grid: &FaultGrid,
+    threads: usize,
+) -> Result<Vec<ProbDist>, ExecError> {
+    let cells: Vec<FaultParams> = grid
+        .iter()
+        .map(|(theta, phi)| FaultParams::shift(theta, phi))
+        .collect();
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = threads.max(1).min(cells.len());
+    if workers == 1 {
+        let mut scratch = ReplayScratch::new();
+        return cells
+            .iter()
+            .map(|&fault| sweep.replay_with(fault, &mut scratch))
+            .collect();
+    }
+    // Contiguous chunks of fixed size: the (cell → worker) assignment is a
+    // pure function of (grid.len(), threads), never of scheduling.
+    let chunk = cells.len().div_ceil(workers);
+    let mut out: Vec<Option<ProbDist>> = vec![None; cells.len()];
+    let first_error: Mutex<Option<(usize, ExecError)>> = Mutex::new(None);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for (chunk_idx, (slots, faults)) in
+            out.chunks_mut(chunk).zip(cells.chunks(chunk)).enumerate()
+        {
+            let first_error = &first_error;
+            let failed = &failed;
+            scope.spawn(move || {
+                let mut scratch = ReplayScratch::new();
+                for (slot, &fault) in slots.iter_mut().zip(faults) {
+                    // A failure anywhere aborts the whole grid; stop
+                    // burning replays whose results would be discarded.
+                    if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    match sweep.replay_with(fault, &mut scratch) {
+                        Ok(dist) => *slot = Some(dist),
+                        Err(e) => {
+                            failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                            let mut guard = first_error.lock();
+                            // Keep the error of the lowest-indexed chunk
+                            // among those observed before cancellation.
+                            if guard.as_ref().is_none_or(|(i, _)| chunk_idx < *i) {
+                                *guard = Some((chunk_idx, e));
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, e)) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(out
+        .into_iter()
+        .map(|slot| slot.expect("every cell was replayed"))
+        .collect())
 }
 
 /// A parked double-fault sweep.
@@ -155,8 +292,20 @@ fn splice_faults(
 fn gates_in(qc: &QuantumCircuit, range: std::ops::Range<usize>) -> usize {
     qc.ops()[range]
         .iter()
-        .filter(|op| matches!(op, qufi_sim::Op::Gate { .. }))
+        .filter(|op| matches!(op, Op::Gate { .. }))
         .count()
+}
+
+/// Applies instructions `[from, upto)` of `qc` to a borrowed state — the
+/// cursor-advance loop without cursor ownership, so replays can evolve a
+/// scratch state restored from a parked snapshot. Bit-identical to
+/// [`CircuitCursor::advance_to`] by construction (same loop).
+fn advance_state<S: EvolvableState>(state: &mut S, qc: &QuantumCircuit, from: usize, upto: usize) {
+    for op in &qc.ops()[from..upto] {
+        if let Op::Gate { gate, qubits } = op {
+            state.apply_gate(*gate, qubits);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -179,14 +328,24 @@ impl IdealPrepared {
         })
     }
 
-    fn replay_faults(&self, faults: &[FaultParams]) -> ProbDist {
-        let mut cur = self.prefix.fork();
+    fn replay_faults(&self, faults: &[FaultParams], scratch: &mut ReplayScratch) -> ProbDist {
+        // Borrow the parked snapshot: restore it into the scratch
+        // statevector (reusing its buffer) instead of cloning per replay.
+        let sv = match scratch.sv.as_mut() {
+            Some(sv) => {
+                sv.copy_from(self.prefix.state());
+                sv
+            }
+            None => scratch.sv.insert(self.prefix.state().clone()),
+        };
+        let mut pos = self.prefix.position();
         for (site, fault) in self.sites.iter().zip(faults) {
-            cur.advance_to(&self.circuit, site.index);
-            cur.apply_gate(fault.injector_gate(), &[site.qubit]);
+            advance_state(sv, &self.circuit, pos, site.index);
+            pos = site.index;
+            sv.apply_gate(fault.injector_gate(), &[site.qubit]);
         }
-        cur.advance_to_end(&self.circuit);
-        cur.state().measurement_distribution(&self.circuit)
+        advance_state(sv, &self.circuit, pos, self.circuit.size());
+        sv.measurement_distribution(&self.circuit)
     }
 
     fn replay_faults_naive(&self, faults: &[FaultParams]) -> Result<ProbDist, ExecError> {
@@ -197,8 +356,12 @@ impl IdealPrepared {
 }
 
 impl PreparedSweep for IdealPrepared {
-    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
-        Ok(self.replay_faults(&[fault]))
+    fn replay_with(
+        &self,
+        fault: FaultParams,
+        scratch: &mut ReplayScratch,
+    ) -> Result<ProbDist, ExecError> {
+        Ok(self.replay_faults(&[fault], scratch))
     }
 
     fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
@@ -217,7 +380,7 @@ impl PreparedSweep for IdealPrepared {
 impl PreparedDoubleSweep for IdealPrepared {
     fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
         check_fault_order(first, second)?;
-        Ok(self.replay_faults(&[first, second]))
+        Ok(self.replay_faults(&[first, second], &mut ReplayScratch::new()))
     }
 
     fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
@@ -276,6 +439,9 @@ struct PhysicalSweep {
     /// Splice sites in compact physical coordinates, program order.
     sites: Vec<SpliceSite>,
     model: NoiseModel,
+    /// The physical circuit compiled against the model: gate matrices and
+    /// channel superoperators resolved once per point, reused per replay.
+    plan: NoisePlan,
     prefix: DensityMatrix,
     prefix_pos: usize,
 }
@@ -300,8 +466,9 @@ impl PhysicalSweep {
             )));
         }
         let model = model_for(&active);
+        let plan = NoisePlan::compile(&physical, &model);
         let mut cursor = NoisyCursor::start(&physical, &model).map_err(ExecError::Sim)?;
-        cursor.advance_to(&physical, sites[0].index);
+        cursor.advance_planned(&plan, sites[0].index);
         let prefix_pos = cursor.position();
         let prefix = cursor.into_state();
         Ok(PhysicalSweep {
@@ -309,20 +476,31 @@ impl PhysicalSweep {
             physical,
             sites,
             model,
+            plan,
             prefix,
             prefix_pos,
         })
     }
 
-    /// Fast path: fork the parked state, splice the injectors, finish.
-    fn replay(&self, faults: &[FaultParams]) -> ProbDist {
-        let mut cur = NoisyCursor::resume(self.prefix.snapshot(), &self.model, self.prefix_pos);
+    /// Fast path: borrow the parked state into the scratch density matrix,
+    /// splice the injectors, finish the suffix through the compiled plan.
+    fn replay(&self, faults: &[FaultParams], scratch: &mut ReplayScratch) -> ProbDist {
+        let rho = match scratch.rho.take() {
+            Some(mut rho) => {
+                rho.copy_from(&self.prefix);
+                rho
+            }
+            None => self.prefix.clone(),
+        };
+        let mut cur = NoisyCursor::resume(rho, &self.model, self.prefix_pos);
         for (site, fault) in self.sites.iter().zip(faults) {
-            cur.advance_to(&self.physical, site.index);
-            cur.apply_gate(fault.injector_gate(), &[site.qubit]);
+            cur.advance_planned(&self.plan, site.index);
+            cur.apply_planned_injector(&self.plan, fault.injector_gate(), site.qubit);
         }
-        cur.advance_to_end(&self.physical);
-        cur.finish(&self.physical)
+        cur.advance_planned(&self.plan, self.physical.size());
+        let dist = cur.finish_dist(&self.physical);
+        scratch.rho = Some(cur.into_state());
+        dist
     }
 
     /// Oracle path: the full pre-engine pipeline — re-transpile the marked
@@ -362,8 +540,12 @@ struct NoisyPrepared<'a> {
 }
 
 impl PreparedSweep for NoisyPrepared<'_> {
-    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
-        Ok(self.sweep.replay(&[fault]))
+    fn replay_with(
+        &self,
+        fault: FaultParams,
+        scratch: &mut ReplayScratch,
+    ) -> Result<ProbDist, ExecError> {
+        Ok(self.sweep.replay(&[fault], scratch))
     }
 
     fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
@@ -383,7 +565,9 @@ impl PreparedSweep for NoisyPrepared<'_> {
 impl PreparedDoubleSweep for NoisyPrepared<'_> {
     fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
         check_fault_order(first, second)?;
-        Ok(self.sweep.replay(&[first, second]))
+        Ok(self
+            .sweep
+            .replay(&[first, second], &mut ReplayScratch::new()))
     }
 
     fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
@@ -531,8 +715,12 @@ impl HardwarePrepared<'_> {
 }
 
 impl PreparedSweep for HardwarePrepared<'_> {
-    fn replay(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
-        Ok(self.sample(self.sweep.replay(&[fault]), &[fault]))
+    fn replay_with(
+        &self,
+        fault: FaultParams,
+        scratch: &mut ReplayScratch,
+    ) -> Result<ProbDist, ExecError> {
+        Ok(self.sample(self.sweep.replay(&[fault], scratch), &[fault]))
     }
 
     fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
@@ -555,7 +743,10 @@ impl PreparedDoubleSweep for HardwarePrepared<'_> {
     fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
         check_fault_order(first, second)?;
         let faults = [first, second];
-        Ok(self.sample(self.sweep.replay(&faults), &faults))
+        Ok(self.sample(
+            self.sweep.replay(&faults, &mut ReplayScratch::new()),
+            &faults,
+        ))
     }
 
     fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
@@ -779,6 +970,101 @@ mod tests {
             prepared.prefix_gates(),
             prepared.suffix_gates()
         );
+    }
+
+    #[test]
+    fn replay_grid_is_grid_ordered_and_thread_count_invariant() {
+        let qc = bv();
+        let grid = FaultGrid::coarse();
+        for prepared in [
+            IdealExecutor.prepare(&qc, some_point()).unwrap(),
+            NoisyExecutor::new(BackendCalibration::lima())
+                .prepare(&qc, some_point())
+                .unwrap(),
+            HardwareExecutor::new(BackendCalibration::jakarta(), 3)
+                .prepare(&qc, some_point())
+                .unwrap(),
+        ] {
+            // Serial reference, one replay per cell in grid order.
+            let reference: Vec<ProbDist> = grid
+                .iter()
+                .map(|(t, p)| prepared.replay(FaultParams::shift(t, p)).unwrap())
+                .collect();
+            for threads in [1, 2, 4, 7] {
+                let cells = prepared.replay_grid(&grid, threads).unwrap();
+                assert_eq!(cells.len(), grid.len());
+                for (i, (cell, want)) in cells.iter().zip(&reference).enumerate() {
+                    assert_bit_identical(cell, want, &format!("grid cell {i} at {threads}t"));
+                }
+            }
+        }
+    }
+
+    /// The parked snapshot is only borrowed: hammering one prepared sweep
+    /// from several threads at once — replay_grid against replay_grid
+    /// against single replays — must leave every later replay bit-identical
+    /// to the pre-concurrency reference.
+    #[test]
+    fn concurrent_replay_grid_leaves_the_parked_snapshot_unmutated() {
+        let qc = bv();
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        let grid = FaultGrid::coarse();
+        let probe = FaultParams::shift(FRAC_PI_2, PI);
+        let before = prepared.replay(probe).unwrap();
+        let grid_before = prepared.replay_grid(&grid, 1).unwrap();
+
+        let prepared = &*prepared;
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let cells = prepared.replay_grid(&grid, 2).unwrap();
+                    for (cell, want) in cells.iter().zip(&grid_before) {
+                        assert_bit_identical(cell, want, "concurrent grid");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..5 {
+                    assert_bit_identical(
+                        &prepared.replay(probe).unwrap(),
+                        &before,
+                        "concurrent single replay",
+                    );
+                }
+            });
+        });
+        assert_bit_identical(
+            &prepared.replay(probe).unwrap(),
+            &before,
+            "post-concurrency replay",
+        );
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_scratch() {
+        let qc = bv();
+        let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        let faults = [
+            FaultParams::shift(PI, 0.0),
+            FaultParams::shift(0.3, 5.9),
+            FaultParams::shift(FRAC_PI_2, FRAC_PI_2),
+        ];
+        let mut scratch = ReplayScratch::new();
+        for &fault in &faults {
+            let reused = prepared.replay_with(fault, &mut scratch).unwrap();
+            let fresh = prepared.replay(fault).unwrap();
+            assert_bit_identical(&reused, &fresh, "scratch reuse");
+        }
+    }
+
+    #[test]
+    fn replay_grid_on_empty_grid_is_empty() {
+        let qc = bv();
+        let prepared = IdealExecutor.prepare(&qc, some_point()).unwrap();
+        let empty = FaultGrid::custom(vec![], vec![0.0]);
+        assert!(prepared.replay_grid(&empty, 4).unwrap().is_empty());
     }
 
     #[test]

@@ -65,11 +65,11 @@ pub mod serialize;
 pub mod sweep;
 
 pub use campaign::{
-    golden_outputs, run_point_sweep, run_single_campaign, CampaignOptions, CampaignResult,
-    InjectionRecord,
+    golden_outputs, run_point_sweep, run_point_sweep_parallel, run_single_campaign,
+    split_thread_budget, CampaignOptions, CampaignResult, InjectionRecord,
 };
 pub use double::{DoubleCampaignResult, DoubleInjectionRecord, DoubleOptions};
-pub use engine::{PreparedDoubleSweep, PreparedSweep, SweepExecutor};
+pub use engine::{PreparedDoubleSweep, PreparedSweep, ReplayScratch, SweepExecutor};
 pub use error::ExecError;
 pub use executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
 pub use fault::{
@@ -82,7 +82,8 @@ pub use metrics::{michelson_contrast, qvf, qvf_from_dist, Severity};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::campaign::{
-        golden_outputs, run_point_sweep, run_single_campaign, CampaignOptions,
+        golden_outputs, run_point_sweep, run_point_sweep_parallel, run_single_campaign,
+        split_thread_budget, CampaignOptions,
     };
     pub use crate::double::{run_double_campaign, DoubleOptions};
     pub use crate::engine::{PreparedDoubleSweep, PreparedSweep, SweepExecutor};

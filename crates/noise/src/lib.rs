@@ -50,3 +50,4 @@ pub use coherent::CoherentError;
 pub use mitigation::mitigate_readout;
 pub use model::NoiseModel;
 pub use readout::ReadoutError;
+pub use simulate::{NoisePlan, NoisyCursor};

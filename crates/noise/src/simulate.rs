@@ -13,8 +13,93 @@
 
 use crate::model::NoiseModel;
 use crate::readout::apply_readout_errors;
+use qufi_math::CMatrix;
 use qufi_sim::circuit::Op;
 use qufi_sim::{DensityMatrix, Gate, ProbDist, QuantumCircuit, SimError};
+
+/// One compiled gate instruction: its unitary and the noise superoperators
+/// that follow it, resolved against a concrete [`NoiseModel`].
+struct PlanStep {
+    matrix: CMatrix,
+    qubits: Vec<usize>,
+    /// `(superoperator, target qubits)` in the model's canonical order.
+    channels: Vec<(CMatrix, Vec<usize>)>,
+}
+
+/// A circuit compiled against a noise model: per-instruction gate matrices
+/// and channel superoperators resolved **once**, so a replay loop walking
+/// the same suffix hundreds of times pays no per-gate matrix construction,
+/// channel lookup, or allocation.
+///
+/// A plan is only meaningful for the `(circuit, model)` pair it was
+/// compiled from; [`NoisyCursor::advance_planned`] applies exactly the
+/// gate/channel sequence [`NoisyCursor::advance_to`] would apply against
+/// the same model, bit-for-bit.
+pub struct NoisePlan {
+    size: usize,
+    num_qubits: usize,
+    /// One entry per instruction; `None` for barriers and measurements.
+    steps: Vec<Option<PlanStep>>,
+    /// Per-qubit channels suffered by a spliced 1-qubit injector gate
+    /// (`U(θ,φ,λ)` — a calibrated physical gate, never the virtual `rz`).
+    injector_channels: Vec<Vec<(CMatrix, Vec<usize>)>>,
+}
+
+impl NoisePlan {
+    /// Compiles `qc` against `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model covers fewer qubits than the circuit uses.
+    pub fn compile(qc: &QuantumCircuit, model: &NoiseModel) -> Self {
+        assert!(
+            model.num_qubits() >= qc.num_qubits(),
+            "noise model covers {} qubits, circuit needs {}",
+            model.num_qubits(),
+            qc.num_qubits()
+        );
+        let resolve = |gate: Gate, qubits: &[usize]| {
+            model
+                .channels_after(gate, qubits)
+                .into_iter()
+                .map(|(ch, targets)| (ch.superoperator().clone(), targets))
+                .collect::<Vec<_>>()
+        };
+        let steps = qc
+            .ops()
+            .iter()
+            .map(|op| match op {
+                Op::Gate { gate, qubits } => Some(PlanStep {
+                    matrix: gate.matrix(),
+                    qubits: qubits.clone(),
+                    channels: resolve(*gate, qubits),
+                }),
+                _ => None,
+            })
+            .collect();
+        let injector_channels = (0..qc.num_qubits())
+            .map(|q| resolve(Gate::U(0.0, 0.0, 0.0), &[q]))
+            .collect();
+        NoisePlan {
+            size: qc.size(),
+            num_qubits: qc.num_qubits(),
+            steps,
+            injector_channels,
+        }
+    }
+
+    /// Number of instructions in the compiled circuit.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Width of the compiled circuit.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+}
 
 /// A paused noisy evolution: the density matrix after the first
 /// [`position`](NoisyCursor::position) instructions of a circuit, each gate
@@ -139,10 +224,69 @@ impl<'m> NoisyCursor<'m> {
         self.advance_to(qc, qc.size());
     }
 
+    /// Applies instructions `[position, upto)` through a [`NoisePlan`]
+    /// compiled from the same circuit and model: the precompiled gate
+    /// matrices and channel superoperators are applied in the exact order
+    /// [`NoisyCursor::advance_to`] would apply them, so the two paths are
+    /// bit-identical — the plan only removes the per-gate matrix
+    /// construction and channel-lookup allocations from replay loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `upto` is behind the cursor or beyond the plan.
+    pub fn advance_planned(&mut self, plan: &NoisePlan, upto: usize) {
+        assert!(
+            upto >= self.pos,
+            "cursor at {} cannot rewind to {upto}",
+            self.pos
+        );
+        assert!(
+            upto <= plan.size(),
+            "advance_planned({upto}) beyond plan of {} instructions",
+            plan.size()
+        );
+        for step in plan.steps[self.pos..upto].iter().flatten() {
+            self.rho.apply_unitary(&step.matrix, &step.qubits);
+            for (superop, targets) in &step.channels {
+                self.rho.apply_superoperator(superop, targets);
+            }
+        }
+        self.pos = upto;
+    }
+
+    /// The planned counterpart of [`NoisyCursor::apply_gate`] for a spliced
+    /// 1-qubit injector: applies the gate's unitary, then the channels the
+    /// plan cached for a calibrated 1-qubit gate on `qubit`, without moving
+    /// the instruction position. Bit-identical to
+    /// [`NoisyCursor::apply_gate`] for any non-virtual 1-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-qubit gates and for the virtual `rz` (which carries
+    /// no noise and must not be spliced through this path).
+    pub fn apply_planned_injector(&mut self, plan: &NoisePlan, gate: Gate, qubit: usize) {
+        assert_eq!(gate.num_qubits(), 1, "injector must be a 1-qubit gate");
+        assert!(
+            !matches!(gate, Gate::Rz(_)),
+            "virtual rz gates carry no noise and cannot use the injector path"
+        );
+        self.rho.apply_unitary(&gate.matrix(), &[qubit]);
+        for (superop, targets) in &plan.injector_channels[qubit] {
+            self.rho.apply_superoperator(superop, targets);
+        }
+    }
+
     /// Completes the run: readout confusion on the qubit distribution,
     /// then marginalization through `qc`'s measurement map (the full qubit
     /// distribution when the circuit has no measurements).
     pub fn finish(self, qc: &QuantumCircuit) -> ProbDist {
+        self.finish_dist(qc)
+    }
+
+    /// [`NoisyCursor::finish`] without consuming the cursor, so a replay
+    /// loop can read the distribution and then recycle the cursor's state
+    /// buffer ([`NoisyCursor::into_state`]) for the next replay.
+    pub fn finish_dist(&self, qc: &QuantumCircuit) -> ProbDist {
         let mut dist = self.rho.probabilities();
         dist = apply_readout_errors(&dist, self.model.readout_errors());
         let map = qc.measurement_map();
@@ -312,6 +456,55 @@ mod tests {
         }
         assert_eq!(prefix.state(), &before);
         assert_eq!(prefix.position(), 1);
+    }
+
+    /// The compiled-plan path must be *bit-identical* to the per-gate
+    /// model-lookup path: same gates, same channels, same order — the plan
+    /// only amortizes construction.
+    #[test]
+    fn planned_advance_is_bit_identical_to_model_advance() {
+        let mut qc = QuantumCircuit::new(3, 3);
+        qc.h(0).cx(0, 1).sx(2).rz(0.4, 1).cx(1, 2).x(0);
+        qc.measure_all();
+        let model = BackendCalibration::jakarta()
+            .restrict(&[0, 1, 2])
+            .noise_model();
+        let plan = NoisePlan::compile(&qc, &model);
+        assert_eq!(plan.size(), qc.size());
+        assert_eq!(plan.num_qubits(), 3);
+
+        for split in 0..=qc.size() {
+            let mut via_model = NoisyCursor::start(&qc, &model).unwrap();
+            via_model.advance_to(&qc, split);
+            via_model.apply_gate(Gate::U(0.7, 1.1, 0.0), &[1]);
+            via_model.advance_to_end(&qc);
+
+            let mut via_plan = NoisyCursor::start(&qc, &model).unwrap();
+            via_plan.advance_planned(&plan, split);
+            via_plan.apply_planned_injector(&plan, Gate::U(0.7, 1.1, 0.0), 1);
+            via_plan.advance_planned(&plan, qc.size());
+
+            let dim = via_model.state().dim();
+            for i in 0..dim {
+                for j in 0..dim {
+                    let (a, b) = (via_model.state().entry(i, j), via_plan.state().entry(i, j));
+                    assert!(
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                        "split {split}: entry ({i},{j}) differs: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual rz")]
+    fn planned_injector_rejects_rz() {
+        let qc = bell();
+        let model = NoiseModel::ideal(2);
+        let plan = NoisePlan::compile(&qc, &model);
+        let mut cursor = NoisyCursor::start(&qc, &model).unwrap();
+        cursor.apply_planned_injector(&plan, Gate::Rz(0.3), 0);
     }
 
     /// The spliced-gate primitive matches inserting the same gate into the

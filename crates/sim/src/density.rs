@@ -14,8 +14,9 @@ use crate::circuit::{Op, QuantumCircuit};
 use crate::counts::ProbDist;
 use crate::error::SimError;
 use crate::gate::Gate;
-use crate::kernel::apply_unitary_strided;
+use crate::kernel::{apply_matrix_on_bits, MAX_KERNEL_QUBITS};
 use crate::statevector::Statevector;
+use crate::workspace::EvolutionWorkspace;
 use qufi_math::{CMatrix, Complex};
 
 /// Maximum register width for the density-matrix engine (2^12 × 2^12
@@ -106,21 +107,32 @@ impl DensityMatrix {
 
     /// Applies an arbitrary unitary matrix over the listed qubits.
     ///
+    /// Allocation-free: ρ (row-major) is treated as a statevector over `2n`
+    /// flat bits — row bit `q` is flat bit `n + q`, column bit `q` is flat
+    /// bit `q` — and the two sides of `ρ ↦ UρU†` become two in-place kernel
+    /// passes.
+    ///
     /// # Panics
     ///
     /// Panics if a qubit index is out of range.
     pub fn apply_unitary(&mut self, u: &CMatrix, qubits: &[usize]) {
-        for &q in qubits {
-            assert!(q < self.n, "qubit {q} out of range for width {}", self.n);
+        Self::unitary_passes(&mut self.data, self.n, u, qubits);
+    }
+
+    /// The two kernel passes of `ρ ↦ UρU†` over a raw `4^n` buffer (shared
+    /// by [`DensityMatrix::apply_unitary`] and the Kraus accumulator, which
+    /// transforms a scratch buffer instead of `self.data`).
+    fn unitary_passes(data: &mut [Complex], n: usize, u: &CMatrix, qubits: &[usize]) {
+        let k = qubits.len();
+        let mut row_positions = [0usize; MAX_KERNEL_QUBITS];
+        for (slot, &q) in row_positions.iter_mut().zip(qubits) {
+            assert!(q < n, "qubit {q} out of range for width {n}");
+            *slot = n + q;
         }
-        // Row pass: ρ ← U ρ (column j fixed; stride dim).
-        for j in 0..self.dim {
-            apply_unitary_strided(&mut self.data, u, qubits, self.n, j, self.dim, false);
-        }
-        // Column pass: ρ ← ρ U† (row i fixed; stride 1, conjugated entries).
-        for i in 0..self.dim {
-            apply_unitary_strided(&mut self.data, u, qubits, self.n, i * self.dim, 1, true);
-        }
+        // Row pass: ρ ← U ρ.
+        apply_matrix_on_bits(data, u.as_slice(), &row_positions[..k], 2 * n, false);
+        // Column pass: ρ ← ρ U† (conjugated entries on the column bits).
+        apply_matrix_on_bits(data, u.as_slice(), qubits, 2 * n, true);
     }
 
     /// Applies a completely-positive map given by Kraus operators:
@@ -131,6 +143,26 @@ impl DensityMatrix {
     /// Panics if the operators are not square over `2^|qubits|` dimensions or
     /// the channel is empty.
     pub fn apply_kraus(&mut self, kraus: &[CMatrix], qubits: &[usize]) {
+        let mut ws = EvolutionWorkspace::new();
+        self.apply_kraus_with(kraus, qubits, &mut ws);
+    }
+
+    /// [`DensityMatrix::apply_kraus`] with caller-owned scratch buffers:
+    /// each Kraus term is evolved in the workspace's term buffer and
+    /// accumulated into its accumulator, so a reused workspace makes
+    /// repeated channel application free of steady-state allocations.
+    /// Results are bit-identical to [`DensityMatrix::apply_kraus`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators are not square over `2^|qubits|` dimensions
+    /// or the channel is empty.
+    pub fn apply_kraus_with(
+        &mut self,
+        kraus: &[CMatrix],
+        qubits: &[usize],
+        ws: &mut EvolutionWorkspace,
+    ) {
         assert!(!kraus.is_empty(), "empty Kraus channel");
         let k_dim = 1usize << qubits.len();
         for k in kraus {
@@ -140,20 +172,18 @@ impl DensityMatrix {
                 "Kraus operator shape mismatch"
             );
         }
-        let mut acc = vec![Complex::ZERO; self.data.len()];
+        let len = self.data.len();
+        ws.ensure(len);
+        let (term, acc) = (&mut ws.term[..len], &mut ws.acc[..len]);
+        acc.fill(Complex::ZERO);
         for k in kraus {
-            let mut term = self.data.clone();
-            for j in 0..self.dim {
-                apply_unitary_strided(&mut term, k, qubits, self.n, j, self.dim, false);
-            }
-            for i in 0..self.dim {
-                apply_unitary_strided(&mut term, k, qubits, self.n, i * self.dim, 1, true);
-            }
-            for (a, t) in acc.iter_mut().zip(&term) {
+            term.copy_from_slice(&self.data);
+            Self::unitary_passes(term, self.n, k, qubits);
+            for (a, t) in acc.iter_mut().zip(term.iter()) {
                 *a += *t;
             }
         }
-        self.data = acc;
+        self.data.copy_from_slice(acc);
     }
 
     /// Applies a channel given as a **superoperator** — a `4^k × 4^k` matrix
@@ -172,20 +202,24 @@ impl DensityMatrix {
     pub fn apply_superoperator(&mut self, s: &CMatrix, qubits: &[usize]) {
         let k = qubits.len();
         assert_eq!(s.rows(), 1 << (2 * k), "superoperator size mismatch");
-        for &q in qubits {
-            assert!(q < self.n, "qubit {q} out of range for width {}", self.n);
-        }
         // Treat ρ (row-major) as a statevector over 2n "qubits": row bit q of
         // ρ is flat bit n+q, column bit q is flat bit q. The superoperator
         // index convention (a = row bits as the most significant group)
         // matches the kernel's first-operand-most-significant rule when the
         // combined operand list is [row qubits..., column qubits...].
-        let combined: Vec<usize> = qubits
-            .iter()
-            .map(|&q| self.n + q)
-            .chain(qubits.iter().copied())
-            .collect();
-        apply_unitary_strided(&mut self.data, s, &combined, 2 * self.n, 0, 1, false);
+        let mut combined = [0usize; MAX_KERNEL_QUBITS];
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.n, "qubit {q} out of range for width {}", self.n);
+            combined[i] = self.n + q;
+            combined[k + i] = q;
+        }
+        apply_matrix_on_bits(
+            &mut self.data,
+            s.as_slice(),
+            &combined[..2 * k],
+            2 * self.n,
+            false,
+        );
     }
 
     /// Runs the unitary part of a circuit (barriers/measurements skipped).
@@ -247,6 +281,16 @@ impl DensityMatrix {
     /// snapshot never affects the original.
     pub fn snapshot(&self) -> DensityMatrix {
         self.clone()
+    }
+
+    /// Overwrites this state with a copy of `src`, reusing the existing
+    /// buffer when it is large enough — the allocation-free counterpart of
+    /// [`DensityMatrix::snapshot`] that replay loops use to restore a
+    /// parked prefix state into a per-thread scratch matrix.
+    pub fn copy_from(&mut self, src: &DensityMatrix) {
+        self.n = src.n;
+        self.dim = src.dim;
+        self.data.clone_from(&src.data);
     }
 
     /// `true` when `ρ ≈ ρ†` within `tol`.

@@ -3,64 +3,180 @@
 //!
 //! A `k`-qubit unitary applied to an `n`-qubit register never materializes a
 //! `2^n × 2^n` matrix: it transforms groups of `2^k` amplitudes in place.
-//! The same kernel serves the density matrix by walking the row axis
-//! (`stride = dim`) and the column axis (`stride = 1`) separately, and
-//! channel superoperators by treating ρ as a statevector over `2n` bits.
+//! Everything in the stack reduces to one primitive,
+//! [`apply_matrix_on_bits`]: apply a `2^k × 2^k` matrix to `k` *flat bit
+//! positions* of a `2^m`-amplitude buffer.
 //!
-//! The kernel is allocation-free (fixed stack buffers) because campaigns
-//! call it hundreds of millions of times.
+//! * Statevector gates: `m = n`, positions are the operand qubits.
+//! * Density-matrix `ρ ↦ UρU†`: ρ (row-major) is a statevector over `2n`
+//!   bits — row bit `q` is flat bit `n + q`, column bit `q` is flat bit `q`.
+//!   The row pass applies `U` at positions `n + qubits`, the column pass
+//!   applies the element-wise conjugate at positions `qubits`.
+//! * Channel superoperators: a `4^k × 4^k` matrix at the combined positions
+//!   `[n + qubits..., qubits...]`.
+//!
+//! The 1- and 2-qubit cases — all of a transpiled circuit's gates and every
+//! 1-qubit channel — run through specialized loops; larger operands (Toffoli,
+//! 2-qubit-channel superoperators) fall back to a generic `k ≤ 4` path. All
+//! paths are allocation-free (fixed stack buffers) because campaigns call
+//! them hundreds of millions of times, and all paths perform **exactly** the
+//! same arithmetic in the same order (gather the group, accumulate each
+//! output row from zero in column order, scatter), so results are
+//! bit-identical regardless of which path dispatches — a property the
+//! campaign layer's byte-pinned golden exports rely on.
 
-use qufi_math::{CMatrix, Complex};
+use qufi_math::Complex;
 
 /// Largest supported operand count: 3-qubit gates (Toffoli) and 2-qubit
 /// channel superoperators (4 combined row/column bits).
 pub(crate) const MAX_KERNEL_QUBITS: usize = 4;
 
-/// Applies `u` (a `2^k × 2^k` unitary over the listed `qubits`) to the
-/// amplitudes found at `data[base + index * stride]` for `index` in
-/// `0..2^n`.
+/// Applies `u` (a row-major `2^k × 2^k` matrix over the listed flat bit
+/// `positions`) to `data`, a buffer of `2^m` amplitudes.
 ///
 /// Matrix-index convention: bit `k-1-j` of a matrix index corresponds to
-/// `qubits[j]`, i.e. the **first operand is the most significant** matrix
-/// bit, matching [`CMatrix::cnot`] (control first).
+/// `positions[j]`, i.e. the **first operand is the most significant** matrix
+/// bit, matching [`qufi_math::CMatrix::cnot`] (control first).
 ///
 /// When `conjugate` is true the element-wise conjugate of `u` is used
 /// (needed for the density-matrix column pass: `ρ ↦ K ρ K†`).
-pub(crate) fn apply_unitary_strided(
+pub(crate) fn apply_matrix_on_bits(
     data: &mut [Complex],
-    u: &CMatrix,
-    qubits: &[usize],
-    n: usize,
-    base: usize,
-    stride: usize,
+    u: &[Complex],
+    positions: &[usize],
+    m: usize,
     conjugate: bool,
 ) {
-    let k = qubits.len();
-    debug_assert_eq!(u.rows(), 1 << k, "matrix size does not match qubit count");
-    debug_assert!(qubits.iter().all(|&q| q < n));
+    let k = positions.len();
+    debug_assert_eq!(data.len(), 1usize << m, "buffer is not 2^m amplitudes");
+    debug_assert_eq!(u.len(), 1usize << (2 * k), "matrix size mismatch");
+    debug_assert!(positions.iter().all(|&q| q < m));
     assert!(
         k <= MAX_KERNEL_QUBITS,
         "kernel supports at most {MAX_KERNEL_QUBITS} operand qubits"
     );
+    match k {
+        1 => apply_1q(data, u, positions[0], conjugate),
+        2 => apply_2q(data, u, positions[0], positions[1], conjugate),
+        _ => apply_generic(data, u, positions, m, conjugate),
+    }
+}
 
-    // Offsets (in state-index units) contributed by each matrix bit.
-    // Matrix bit (k-1-j) <-> qubits[j].
+/// Specialized single-operand kernel: transforms amplitude pairs in place.
+///
+/// Blocks are walked as `chunks_exact_mut(2·bit)` split at `bit`, so the
+/// inner pair loop is a bounds-check-free zip over two slices the compiler
+/// can pipeline and vectorize. Each pair performs the exact operation
+/// sequence of the generic path (accumulate from zero in column order), so
+/// dispatch never changes bits.
+fn apply_1q(data: &mut [Complex], u: &[Complex], q: usize, conjugate: bool) {
+    let bit = 1usize << q;
+    let (u00, u01, u10, u11) = if conjugate {
+        (u[0].conj(), u[1].conj(), u[2].conj(), u[3].conj())
+    } else {
+        (u[0], u[1], u[2], u[3])
+    };
+    for block in data.chunks_exact_mut(bit << 1) {
+        let (lo, hi) = block.split_at_mut(bit);
+        for (p0, p1) in lo.iter_mut().zip(hi.iter_mut()) {
+            let v0 = *p0;
+            let v1 = *p1;
+            let mut a0 = Complex::ZERO;
+            a0 += u00 * v0;
+            a0 += u01 * v1;
+            let mut a1 = Complex::ZERO;
+            a1 += u10 * v0;
+            a1 += u11 * v1;
+            *p0 = a0;
+            *p1 = a1;
+        }
+    }
+}
+
+/// Specialized two-operand kernel: 4-amplitude gather, 4×4 transform,
+/// scatter. `p_hi` is the most significant matrix bit.
+///
+/// The transform accumulates column-outer into four independent output
+/// accumulators (through a transposed matrix copy, so the inner row loop is
+/// contiguous): each output still sums its columns in ascending order —
+/// bit-identical to the row-major form — but the four chains pipeline
+/// instead of serializing on one accumulator.
+fn apply_2q(data: &mut [Complex], u: &[Complex], p_hi: usize, p_lo: usize, conjugate: bool) {
+    let o_hi = 1usize << p_hi;
+    let o_lo = 1usize << p_lo;
+    // Transposed (and optionally conjugated) split-layout copy of the 4×4
+    // matrix: real and imaginary parts in separate arrays, so the
+    // accumulation below is plain `f64` array arithmetic the compiler can
+    // keep in SIMD registers.
+    let mut ut_re = [0.0f64; 16];
+    let mut ut_im = [0.0f64; 16];
+    for row in 0..4 {
+        for col in 0..4 {
+            let x = u[row * 4 + col];
+            ut_re[col * 4 + row] = x.re;
+            ut_im[col * 4 + row] = if conjugate { -x.im } else { x.im };
+        }
+    }
+    // Enumerate the "rest" space by depositing counter bits around the two
+    // operand holes (sorted ascending).
+    let (qa, qb) = if p_hi < p_lo {
+        (p_hi, p_lo)
+    } else {
+        (p_lo, p_hi)
+    };
+    let mask_a = (1usize << qa) - 1;
+    let mask_b = (1usize << qb) - 1;
+    let rest = data.len() >> 2;
+    for r in 0..rest {
+        let t = ((r >> qa) << (qa + 1)) | (r & mask_a);
+        let idx = ((t >> qb) << (qb + 1)) | (t & mask_b);
+        let i0 = idx;
+        let i1 = idx | o_lo;
+        let i2 = idx | o_hi;
+        let i3 = idx | o_lo | o_hi;
+        let g = [data[i0], data[i1], data[i2], data[i3]];
+        let mut o_re = [0.0f64; 4];
+        let mut o_im = [0.0f64; 4];
+        for (col, &gc) in g.iter().enumerate() {
+            let (cr, ci) = (gc.re, gc.im);
+            let ur = &ut_re[col * 4..col * 4 + 4];
+            let ui = &ut_im[col * 4..col * 4 + 4];
+            // Exactly `slot += u · g` unrolled into parts: each output's
+            // column order — and therefore every bit — is unchanged.
+            for (((or_, oi_), &ar), &ai) in o_re.iter_mut().zip(o_im.iter_mut()).zip(ur).zip(ui) {
+                *or_ += ar * cr - ai * ci;
+                *oi_ += ar * ci + ai * cr;
+            }
+        }
+        data[i0] = Complex::new(o_re[0], o_im[0]);
+        data[i1] = Complex::new(o_re[1], o_im[1]);
+        data[i2] = Complex::new(o_re[2], o_im[2]);
+        data[i3] = Complex::new(o_re[3], o_im[3]);
+    }
+}
+
+/// Generic `k ≤ 4` fallback (Toffoli, 2-qubit-channel superoperators).
+fn apply_generic(data: &mut [Complex], u: &[Complex], positions: &[usize], m: usize, conj: bool) {
+    let k = positions.len();
+
+    // Offsets (in flat-index units) contributed by each matrix bit.
+    // Matrix bit (k-1-j) <-> positions[j].
     let mut bit_offsets = [0usize; MAX_KERNEL_QUBITS];
-    for (j, &q) in qubits.iter().enumerate() {
+    for (j, &q) in positions.iter().enumerate() {
         bit_offsets[k - 1 - j] = 1usize << q;
     }
 
-    // Sorted qubit positions for enumerating the "rest" space.
+    // Sorted bit positions for enumerating the "rest" space.
     let mut sorted = [0usize; MAX_KERNEL_QUBITS];
-    sorted[..k].copy_from_slice(qubits);
+    sorted[..k].copy_from_slice(positions);
     sorted[..k].sort_unstable();
 
-    let m = 1usize << k;
-    let rest = 1usize << (n - k);
+    let group = 1usize << k;
+    let rest = 1usize << (m - k);
 
     // Precompute the data offset of each matrix index (deposit of its bits).
     let mut pos = [0usize; 1 << MAX_KERNEL_QUBITS];
-    for (mm, slot) in pos.iter_mut().enumerate().take(m) {
+    for (mm, slot) in pos.iter_mut().enumerate().take(group) {
         let mut off = 0usize;
         for (b, &bo) in bit_offsets.iter().enumerate().take(k) {
             if (mm >> b) & 1 == 1 {
@@ -70,8 +186,26 @@ pub(crate) fn apply_unitary_strided(
         *slot = off;
     }
 
+    // Transposed (and optionally conjugated) split-layout copy of the
+    // matrix: the column-outer accumulation below walks it contiguously as
+    // plain `f64` arrays the compiler can vectorize. Each output element
+    // still sums its columns in ascending order — the exact operation
+    // sequence (and bits) of a row-major accumulation over `Complex`
+    // values — but the `group` output chains are independent and pipeline
+    // instead of serializing on a single accumulator.
+    let mut ut_re = [0.0f64; 1 << (2 * MAX_KERNEL_QUBITS)];
+    let mut ut_im = [0.0f64; 1 << (2 * MAX_KERNEL_QUBITS)];
+    for row in 0..group {
+        for col in 0..group {
+            let x = u[row * group + col];
+            ut_re[col * group + row] = x.re;
+            ut_im[col * group + row] = if conj { -x.im } else { x.im };
+        }
+    }
+
     let mut gathered = [Complex::ZERO; 1 << MAX_KERNEL_QUBITS];
-    let umat = u.as_slice();
+    let mut o_re = [0.0f64; 1 << MAX_KERNEL_QUBITS];
+    let mut o_im = [0.0f64; 1 << MAX_KERNEL_QUBITS];
 
     for r in 0..rest {
         // Deposit the rest-bits of `r` around the holes at `sorted`.
@@ -81,22 +215,27 @@ pub(crate) fn apply_unitary_strided(
             idx = ((idx >> q) << (q + 1)) | low;
         }
         // Gather, transform, scatter.
-        for mm in 0..m {
-            gathered[mm] = data[base + (idx | pos[mm]) * stride];
+        for (mm, slot) in gathered.iter_mut().enumerate().take(group) {
+            *slot = data[idx | pos[mm]];
         }
-        for row in 0..m {
-            let mut acc = Complex::ZERO;
-            let urow = &umat[row * m..(row + 1) * m];
-            if conjugate {
-                for (col, &g) in gathered.iter().enumerate().take(m) {
-                    acc += urow[col].conj() * g;
-                }
-            } else {
-                for (col, &g) in gathered.iter().enumerate().take(m) {
-                    acc += urow[col] * g;
-                }
+        o_re[..group].fill(0.0);
+        o_im[..group].fill(0.0);
+        for (col, &gc) in gathered.iter().enumerate().take(group) {
+            let (cr, ci) = (gc.re, gc.im);
+            let ur = &ut_re[col * group..(col + 1) * group];
+            let ui = &ut_im[col * group..(col + 1) * group];
+            for (((or_, oi_), &ar), &ai) in o_re[..group]
+                .iter_mut()
+                .zip(o_im[..group].iter_mut())
+                .zip(ur)
+                .zip(ui)
+            {
+                *or_ += ar * cr - ai * ci;
+                *oi_ += ar * ci + ai * cr;
             }
-            data[base + (idx | pos[row]) * stride] = acc;
+        }
+        for row in 0..group {
+            data[idx | pos[row]] = Complex::new(o_re[row], o_im[row]);
         }
     }
 }
@@ -104,19 +243,24 @@ pub(crate) fn apply_unitary_strided(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qufi_math::CMatrix;
+
+    fn apply(data: &mut [Complex], u: &CMatrix, positions: &[usize], m: usize, conj: bool) {
+        apply_matrix_on_bits(data, u.as_slice(), positions, m, conj);
+    }
 
     #[test]
     fn single_qubit_gate_on_lsb() {
         // |0> --X--> |1> on a 2-qubit register (qubit 0).
         let mut v = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
-        apply_unitary_strided(&mut v, &CMatrix::pauli_x(), &[0], 2, 0, 1, false);
+        apply(&mut v, &CMatrix::pauli_x(), &[0], 2, false);
         assert!(v[1].approx_eq(Complex::ONE, 1e-15));
     }
 
     #[test]
     fn single_qubit_gate_on_msb() {
         let mut v = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
-        apply_unitary_strided(&mut v, &CMatrix::pauli_x(), &[1], 2, 0, 1, false);
+        apply(&mut v, &CMatrix::pauli_x(), &[1], 2, false);
         assert!(v[2].approx_eq(Complex::ONE, 1e-15));
     }
 
@@ -124,12 +268,12 @@ mod tests {
     fn cnot_control_order() {
         // control = qubit 0, target = qubit 1; state |01> (q0=1) -> |11>.
         let mut v = vec![Complex::ZERO, Complex::ONE, Complex::ZERO, Complex::ZERO];
-        apply_unitary_strided(&mut v, &CMatrix::cnot(), &[0, 1], 2, 0, 1, false);
+        apply(&mut v, &CMatrix::cnot(), &[0, 1], 2, false);
         assert!(v[3].approx_eq(Complex::ONE, 1e-15), "{v:?}");
 
         // control = qubit 1: |01> unchanged.
         let mut v = vec![Complex::ZERO, Complex::ONE, Complex::ZERO, Complex::ZERO];
-        apply_unitary_strided(&mut v, &CMatrix::cnot(), &[1, 0], 2, 0, 1, false);
+        apply(&mut v, &CMatrix::cnot(), &[1, 0], 2, false);
         assert!(v[1].approx_eq(Complex::ONE, 1e-15), "{v:?}");
     }
 
@@ -137,26 +281,8 @@ mod tests {
     fn conjugate_flag_conjugates_entries() {
         let s = CMatrix::phase(std::f64::consts::FRAC_PI_2); // diag(1, i)
         let mut v = vec![Complex::ZERO, Complex::ONE];
-        apply_unitary_strided(&mut v, &s, &[0], 1, 0, 1, true);
+        apply(&mut v, &s, &[0], 1, true);
         assert!(v[1].approx_eq(-Complex::I, 1e-15));
-    }
-
-    #[test]
-    fn strided_access_touches_only_one_row() {
-        // A 2x2 "matrix of amplitudes" stored row-major; apply X to the row
-        // axis of column 1 only (base=1, stride=2).
-        let mut d = vec![
-            Complex::real(1.0),
-            Complex::real(2.0),
-            Complex::real(3.0),
-            Complex::real(4.0),
-        ];
-        apply_unitary_strided(&mut d, &CMatrix::pauli_x(), &[0], 1, 1, 2, false);
-        // Column 1 was (2, 4) -> (4, 2); column 0 untouched.
-        assert!(d[0].approx_eq(Complex::real(1.0), 1e-15));
-        assert!(d[1].approx_eq(Complex::real(4.0), 1e-15));
-        assert!(d[2].approx_eq(Complex::real(3.0), 1e-15));
-        assert!(d[3].approx_eq(Complex::real(2.0), 1e-15));
     }
 
     #[test]
@@ -164,17 +290,15 @@ mod tests {
         // Toffoli |110> -> |111> with operands [c0=2, c1=1, t=0].
         let mut v = vec![Complex::ZERO; 8];
         v[0b110] = Complex::ONE;
-        let ccx = qufi_math::CMatrix::identity(8); // placeholder shape check
-        let _ = ccx;
         let ccx = {
-            let mut m = qufi_math::CMatrix::identity(8);
+            let mut m = CMatrix::identity(8);
             m[(6, 6)] = Complex::ZERO;
             m[(7, 7)] = Complex::ZERO;
             m[(6, 7)] = Complex::ONE;
             m[(7, 6)] = Complex::ONE;
             m
         };
-        apply_unitary_strided(&mut v, &ccx, &[2, 1, 0], 3, 0, 1, false);
+        apply(&mut v, &ccx, &[2, 1, 0], 3, false);
         assert!(v[0b111].approx_eq(Complex::ONE, 1e-15), "{v:?}");
     }
 
@@ -183,6 +307,44 @@ mod tests {
     fn too_many_operands_rejected() {
         let mut v = vec![Complex::ONE; 32];
         let u = CMatrix::identity(32);
-        apply_unitary_strided(&mut v, &u, &[0, 1, 2, 3, 4], 5, 0, 1, false);
+        apply(&mut v, &u, &[0, 1, 2, 3, 4], 5, false);
+    }
+
+    /// The specialized 1q/2q paths must be *bit-identical* to the generic
+    /// path on random data — the dispatch must never change results.
+    #[test]
+    fn specialized_paths_match_generic_bitwise() {
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let m = 5usize;
+        let data: Vec<Complex> = (0..1 << m).map(|_| Complex::new(next(), next())).collect();
+        let cases: Vec<(CMatrix, Vec<usize>)> = vec![
+            (CMatrix::hadamard(), vec![0]),
+            (CMatrix::u_gate(0.7, 1.3, 0.2), vec![3]),
+            (CMatrix::sx(), vec![4]),
+            (CMatrix::cnot(), vec![1, 3]),
+            (CMatrix::cnot(), vec![4, 0]),
+            (CMatrix::swap(), vec![2, 1]),
+            (CMatrix::cphase(0.9), vec![0, 4]),
+        ];
+        for (u, positions) in cases {
+            for conj in [false, true] {
+                let mut fast = data.clone();
+                apply_matrix_on_bits(&mut fast, u.as_slice(), &positions, m, conj);
+                let mut slow = data.clone();
+                apply_generic(&mut slow, u.as_slice(), &positions, m, conj);
+                for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    assert!(
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                        "{u:?} on {positions:?} (conj={conj}): amp {i}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -52,6 +52,7 @@ pub mod observable;
 pub mod qasm;
 pub mod statevector;
 pub mod unitary;
+pub mod workspace;
 
 pub use circuit::{Instruction, Op, QuantumCircuit};
 pub use counts::{Counts, ProbDist};
@@ -60,3 +61,4 @@ pub use density::DensityMatrix;
 pub use error::SimError;
 pub use gate::Gate;
 pub use statevector::Statevector;
+pub use workspace::EvolutionWorkspace;

@@ -10,7 +10,7 @@ use crate::circuit::{Op, QuantumCircuit};
 use crate::counts::ProbDist;
 use crate::error::SimError;
 use crate::gate::Gate;
-use crate::kernel::apply_unitary_strided;
+use crate::kernel::apply_matrix_on_bits;
 use qufi_math::{CMatrix, Complex};
 
 /// Maximum register width this engine accepts (2^24 amplitudes ≈ 256 MiB).
@@ -118,7 +118,7 @@ impl Statevector {
         for &q in qubits {
             assert!(q < self.n, "qubit {q} out of range for width {}", self.n);
         }
-        apply_unitary_strided(&mut self.amps, u, qubits, self.n, 0, 1, false);
+        apply_matrix_on_bits(&mut self.amps, u.as_slice(), qubits, self.n, false);
     }
 
     /// Born-rule probabilities over all qubits.
@@ -169,6 +169,15 @@ impl Statevector {
     /// snapshot never affects the original.
     pub fn snapshot(&self) -> Statevector {
         self.clone()
+    }
+
+    /// Overwrites this state with a copy of `src`, reusing the existing
+    /// amplitude buffer when it is large enough — the allocation-free
+    /// counterpart of [`Statevector::snapshot`] for replay loops that
+    /// restore a parked prefix state into per-thread scratch.
+    pub fn copy_from(&mut self, src: &Statevector) {
+        self.n = src.n;
+        self.amps.clone_from(&src.amps);
     }
 }
 

@@ -1,0 +1,79 @@
+//! Reusable scratch buffers for steady-state allocation-free evolution.
+//!
+//! A fault-injection campaign applies millions of gates and channels; the
+//! unitary and superoperator kernels are in-place and allocate nothing, but
+//! Kraus application `ρ ↦ Σₖ Kₖ ρ Kₖ†` inherently needs two `ρ`-sized
+//! scratch buffers (one per-term image, one accumulator). An
+//! [`EvolutionWorkspace`] owns those buffers so a long-lived caller — a
+//! sweep replay loop, a property-test oracle — pays the allocation once and
+//! reuses it for every subsequent application
+//! ([`crate::DensityMatrix::apply_kraus_with`]).
+//!
+//! The workspace is plain scratch: it carries no state between calls, so
+//! sharing one across unrelated evolutions is always sound (each use
+//! overwrites it completely), and results are bit-identical with or without
+//! a reused workspace.
+
+use qufi_math::Complex;
+
+/// Reusable scratch buffers for in-place channel application.
+///
+/// # Example
+///
+/// ```
+/// use qufi_sim::{DensityMatrix, EvolutionWorkspace};
+/// use qufi_math::CMatrix;
+///
+/// let mut ws = EvolutionWorkspace::new();
+/// let mut rho = DensityMatrix::new(2).unwrap();
+/// let flip = [
+///     CMatrix::identity(2).scale_real(0.8f64.sqrt()),
+///     CMatrix::pauli_x().scale_real(0.2f64.sqrt()),
+/// ];
+/// // Buffers are allocated on first use and reused afterwards.
+/// rho.apply_kraus_with(&flip, &[0], &mut ws);
+/// rho.apply_kraus_with(&flip, &[1], &mut ws);
+/// assert!((rho.trace().re - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct EvolutionWorkspace {
+    /// Per-Kraus-term image `Kₖ ρ Kₖ†`.
+    pub(crate) term: Vec<Complex>,
+    /// Channel-output accumulator `Σₖ Kₖ ρ Kₖ†`.
+    pub(crate) acc: Vec<Complex>,
+}
+
+impl EvolutionWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        EvolutionWorkspace::default()
+    }
+
+    /// Grows both buffers to at least `len` amplitudes (no-op — and no
+    /// allocation — once they are large enough).
+    pub(crate) fn ensure(&mut self, len: usize) {
+        if self.term.len() < len {
+            self.term.resize(len, Complex::ZERO);
+        }
+        if self.acc.len() < len {
+            self.acc.resize(len, Complex::ZERO);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_grows_once_and_keeps_capacity() {
+        let mut ws = EvolutionWorkspace::new();
+        ws.ensure(64);
+        assert_eq!(ws.term.len(), 64);
+        let ptr = ws.term.as_ptr();
+        ws.ensure(16);
+        ws.ensure(64);
+        assert_eq!(ws.term.as_ptr(), ptr, "re-ensuring must not reallocate");
+        assert_eq!(ws.acc.len(), 64);
+    }
+}

@@ -1,0 +1,294 @@
+//! Kernel-vs-dense-oracle property tests.
+//!
+//! The in-place index-arithmetic kernels (`crates/sim/src/kernel.rs`) are
+//! the arithmetic underneath every statevector gate, density-matrix
+//! unitary, Kraus channel, and channel superoperator in the stack. These
+//! tests pin them against an *independent* dense oracle: the operator is
+//! embedded entry-by-entry into the full `2^n × 2^n` matrix and applied by
+//! plain matrix multiplication (`qufi_math::CMatrix`), with no shared index
+//! arithmetic. Random circuits and channels must agree with the oracle to
+//! `< 1e-12` per application, and unitary application must be **bitwise**
+//! invariant under kernel dispatch: padding a gate with an identity operand
+//! (which reroutes it through the wider specialized/generic kernel paths)
+//! must not change a single bit of the state.
+
+use proptest::prelude::*;
+use qufi_math::{CMatrix, Complex};
+use qufi_sim::{DensityMatrix, EvolutionWorkspace, Gate, Statevector};
+
+/// Embeds a `2^k × 2^k` operator over `qubits` of an `n`-qubit register
+/// into the full `2^n × 2^n` matrix, entry by entry. Matches the kernel's
+/// operand convention (first operand = most significant matrix bit) but
+/// shares none of its index arithmetic.
+fn embed(u: &CMatrix, qubits: &[usize], n: usize) -> CMatrix {
+    let k = qubits.len();
+    let dim = 1usize << n;
+    let sub = |i: usize| -> usize {
+        let mut m = 0usize;
+        for (t, &q) in qubits.iter().enumerate() {
+            m |= ((i >> q) & 1) << (k - 1 - t);
+        }
+        m
+    };
+    let rest_mask = {
+        let mut mask = dim - 1;
+        for &q in qubits {
+            mask &= !(1usize << q);
+        }
+        mask
+    };
+    let mut full = CMatrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            if i & rest_mask == j & rest_mask {
+                full[(i, j)] = u[(sub(i), sub(j))];
+            }
+        }
+    }
+    full
+}
+
+/// The density matrix as a dense `CMatrix` (oracle side).
+fn to_matrix(rho: &DensityMatrix) -> CMatrix {
+    let dim = rho.dim();
+    let mut m = CMatrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            m[(i, j)] = rho.entry(i, j);
+        }
+    }
+    m
+}
+
+fn max_entry_diff(rho: &DensityMatrix, oracle: &CMatrix) -> f64 {
+    let dim = rho.dim();
+    let mut worst: f64 = 0.0;
+    for i in 0..dim {
+        for j in 0..dim {
+            let d = rho.entry(i, j) - oracle[(i, j)];
+            worst = worst.max(d.norm());
+        }
+    }
+    worst
+}
+
+fn assert_bitwise_state(a: &Statevector, b: &Statevector, what: &str) {
+    for (i, (x, y)) in a.amplitudes().iter().zip(b.amplitudes()).enumerate() {
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{what}: amplitude {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+fn assert_bitwise_density(a: &DensityMatrix, b: &DensityMatrix, what: &str) {
+    for i in 0..a.dim() {
+        for j in 0..a.dim() {
+            let (x, y) = (a.entry(i, j), b.entry(i, j));
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "{what}: entry ({i},{j}): {x:?} vs {y:?}"
+            );
+        }
+    }
+}
+
+/// A random gate over `n` qubits, as (matrix, operands).
+fn arb_gate(n: usize) -> impl Strategy<Value = (CMatrix, Vec<usize>)> {
+    let q = 0..n;
+    let angle = -std::f64::consts::PI..std::f64::consts::PI;
+    prop_oneof![
+        (angle.clone(), angle.clone(), angle.clone(), q.clone())
+            .prop_map(|(t, p, l, a)| (CMatrix::u_gate(t, p, l), vec![a])),
+        q.clone().prop_map(|a| (CMatrix::hadamard(), vec![a])),
+        (q.clone(), q.clone())
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| (CMatrix::cnot(), vec![a, b])),
+        (angle.clone(), angle.clone(), q.clone(), q)
+            .prop_filter("distinct", |(_, _, a, b)| a != b)
+            .prop_map(|(t, p, a, b)| {
+                // An entangling random 2q unitary: CX · (U(t,p,0) ⊗ U(p,t,0)).
+                let u = CMatrix::cnot()
+                    .matmul(&CMatrix::u_gate(t, p, 0.0).kron(&CMatrix::u_gate(p, t, 0.0)));
+                (u, vec![a, b])
+            }),
+    ]
+}
+
+/// A random CPTP channel `{√(1-p)·I, √p·V}` with V unitary over k qubits,
+/// as its Kraus operators.
+fn arb_channel(n: usize) -> impl Strategy<Value = (Vec<CMatrix>, Vec<usize>)> {
+    let p = 0.05f64..0.95;
+    let angle = -std::f64::consts::PI..std::f64::consts::PI;
+    prop_oneof![
+        (p.clone(), angle.clone(), angle.clone(), 0..n).prop_map(|(p, t, l, q)| {
+            let v = CMatrix::u_gate(t, l, 0.0);
+            (
+                vec![
+                    CMatrix::identity(2).scale_real((1.0 - p).sqrt()),
+                    v.scale_real(p.sqrt()),
+                ],
+                vec![q],
+            )
+        }),
+        (p, angle.clone(), angle, 0..n, 0..n)
+            .prop_filter("distinct", |(_, _, _, a, b)| a != b)
+            .prop_map(|(p, t, l, a, b)| {
+                let v = CMatrix::cnot()
+                    .matmul(&CMatrix::u_gate(t, l, 0.0).kron(&CMatrix::u_gate(l, t, 0.0)));
+                (
+                    vec![
+                        CMatrix::identity(4).scale_real((1.0 - p).sqrt()),
+                        v.scale_real(p.sqrt()),
+                    ],
+                    vec![a, b],
+                )
+            }),
+    ]
+}
+
+/// The channel superoperator `S[(a,b),(c,d)] = Σₖ Kₖ[a,c]·K̄ₖ[b,d]`, built
+/// densely from the Kraus set (oracle-side construction).
+fn superop_of(kraus: &[CMatrix]) -> CMatrix {
+    let d = kraus[0].rows();
+    let mut s = CMatrix::zeros(d * d, d * d);
+    for k in kraus {
+        for a in 0..d {
+            for b in 0..d {
+                for c in 0..d {
+                    for e in 0..d {
+                        s[(a * d + b, c * d + e)] += k[(a, c)] * k[(b, e)].conj();
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+const N: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Statevector kernels vs dense matvec: every gate of a random circuit
+    /// agrees with the embedded full-matrix product to < 1e-12.
+    #[test]
+    fn statevector_gates_match_dense_matvec(gates in prop::collection::vec(arb_gate(N), 1..12)) {
+        let mut sv = Statevector::new(N).expect("fits");
+        // Leave |0…0⟩ with a couple of fixed gates so later gates act on a
+        // non-trivial state.
+        sv.apply_gate(Gate::H, &[0]);
+        sv.apply_gate(Gate::Cx, &[0, 1]);
+        for (u, qs) in gates {
+            let before: Vec<Complex> = sv.amplitudes().to_vec();
+            sv.apply_matrix(&u, &qs);
+            let oracle = embed(&u, &qs, N).matvec(&before);
+            for (i, (got, want)) in sv.amplitudes().iter().zip(&oracle).enumerate() {
+                let d = *got - *want;
+                prop_assert!(d.norm() < 1e-12, "amplitude {i}: {got:?} vs {want:?}");
+            }
+        }
+    }
+
+    /// Density-matrix unitary kernels vs dense `UρU†`, plus the per-gate
+    /// distribution distance the sweep engine's guarantees quote.
+    #[test]
+    fn density_unitaries_match_dense_matmul(gates in prop::collection::vec(arb_gate(N), 1..10)) {
+        let mut rho = DensityMatrix::new(N).expect("fits");
+        rho.apply_gate(Gate::H, &[0]);
+        rho.apply_gate(Gate::Cx, &[0, 1]);
+        for (u, qs) in gates {
+            let full = embed(&u, &qs, N);
+            let oracle = full.matmul(&to_matrix(&rho)).matmul(&full.adjoint());
+            rho.apply_unitary(&u, &qs);
+            prop_assert!(max_entry_diff(&rho, &oracle) < 1e-12);
+            // tv distance of the Born distributions: a strictly weaker view
+            // of the same bound, stated because it is what replay
+            // equivalence is measured in.
+            let mut dense = Vec::with_capacity(rho.dim());
+            for i in 0..rho.dim() {
+                dense.push(oracle[(i, i)].re);
+            }
+            let tv: f64 = rho
+                .probabilities()
+                .probs()
+                .iter()
+                .zip(&dense)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / 2.0;
+            prop_assert!(tv < 1e-12, "per-gate tv {tv}");
+        }
+    }
+
+    /// Unitary application is **bitwise** invariant under kernel dispatch:
+    /// padding the operand list with an identity qubit reroutes a 1q gate
+    /// through the 2q kernel and a 2q gate through the generic kernel, and
+    /// must not change one bit of the state.
+    #[test]
+    fn padded_dispatch_is_bitwise_identical(
+        gates in prop::collection::vec(arb_gate(N), 1..10),
+        pad_seed in 0usize..1024,
+    ) {
+        let mut sv = Statevector::new(N).expect("fits");
+        let mut sv_padded = Statevector::new(N).expect("fits");
+        let mut rho = DensityMatrix::new(N).expect("fits");
+        let mut rho_padded = DensityMatrix::new(N).expect("fits");
+        for (i, (u, qs)) in gates.iter().enumerate() {
+            let pad = (0..N)
+                .find(|q| (q + pad_seed + i) % N == 0 && !qs.contains(q))
+                .or_else(|| (0..N).find(|q| !qs.contains(q)))
+                .expect("a free qubit exists");
+            let padded_u = CMatrix::identity(2).kron(u);
+            let mut padded_qs = vec![pad];
+            padded_qs.extend_from_slice(qs);
+
+            sv.apply_matrix(u, qs);
+            sv_padded.apply_matrix(&padded_u, &padded_qs);
+            assert_bitwise_state(&sv, &sv_padded, "statevector dispatch");
+
+            rho.apply_unitary(u, qs);
+            rho_padded.apply_unitary(&padded_u, &padded_qs);
+            assert_bitwise_density(&rho, &rho_padded, "density dispatch");
+        }
+    }
+
+    /// Kraus kernels vs dense `Σₖ KₖρKₖ†`, the superoperator path against
+    /// both, and workspace reuse against fresh workspaces (bitwise).
+    #[test]
+    fn channels_match_dense_oracle(channels in prop::collection::vec(arb_channel(N), 1..6)) {
+        let mut rho = DensityMatrix::new(N).expect("fits");
+        rho.apply_gate(Gate::H, &[0]);
+        rho.apply_gate(Gate::Cx, &[0, 1]);
+        rho.apply_gate(Gate::Cx, &[1, 2]);
+        let mut via_superop = rho.clone();
+        let mut via_fresh = rho.clone();
+        let mut ws = EvolutionWorkspace::new();
+        for (kraus, qs) in channels {
+            // Dense oracle: embed each Kraus operator and matmul.
+            let mut oracle = CMatrix::zeros(rho.dim(), rho.dim());
+            for k in &kraus {
+                let full = embed(k, &qs, N);
+                oracle = oracle.add(&full.matmul(&to_matrix(&rho)).matmul(&full.adjoint()));
+            }
+            rho.apply_kraus_with(&kraus, &qs, &mut ws);
+            prop_assert!(max_entry_diff(&rho, &oracle) < 1e-12, "kraus vs dense");
+
+            // Superoperator path: same channel compiled to a superop.
+            via_superop.apply_superoperator(&superop_of(&kraus), &qs);
+            prop_assert!(max_entry_diff(&via_superop, &oracle) < 1e-12, "superop vs dense");
+
+            // Workspace reuse never changes bits vs a fresh workspace.
+            via_fresh.apply_kraus(&kraus, &qs);
+            assert_bitwise_density(&rho, &via_fresh, "workspace reuse");
+
+            // Keep the two kernel evolutions aligned for the next round
+            // (they agree to 1e-12, not bitwise — different arithmetic).
+            via_superop = rho.clone();
+        }
+        // The evolved state is still a density matrix.
+        prop_assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        prop_assert!(rho.is_hermitian(1e-9));
+    }
+}
