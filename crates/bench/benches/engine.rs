@@ -154,10 +154,39 @@ fn bench_replay_grid(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead on the hot replay path (BENCHMARKS.md "phase
+/// attribution"). `disabled` is the default campaign configuration —
+/// every record call is one relaxed atomic load — and must match PR 5's
+/// recorded `replay_grid` numbers; `enabled` pays one `Instant::now()`
+/// pair per phase (never per cell) and should sit within noise of it.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    let w = bernstein_vazirani(0b101, 3);
+    let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+    let points = enumerate_injection_points(&w.circuit);
+    let point = points[points.len() / 2];
+    let prepared = ex.prepare(&w.circuit, point).expect("prepare");
+    let grid = FaultGrid::paper();
+
+    qufi_obs::disable();
+    group.bench_function("replay_bv4_paper312_t1_disabled", |b| {
+        b.iter(|| prepared.replay_grid(&grid, 1).expect("grid replay"))
+    });
+    qufi_obs::reset();
+    qufi_obs::enable();
+    group.bench_function("replay_bv4_paper312_t1_enabled", |b| {
+        b.iter(|| prepared.replay_grid(&grid, 1).expect("grid replay"))
+    });
+    qufi_obs::disable();
+    qufi_obs::reset();
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_statevector, bench_density, bench_pipeline, bench_sweep_engine,
-        bench_replay_grid
+        bench_replay_grid, bench_obs_overhead
 }
 criterion_main!(benches);

@@ -213,7 +213,17 @@ impl CheckpointStore {
         };
         if !text.is_empty() && !text.ends_with('\n') {
             let keep = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let torn_bytes = text.len() - keep;
             text.truncate(keep);
+            // A healed checkpoint must not look identical to a clean one:
+            // count the salvage and say so (the interrupted point re-runs,
+            // so the campaign result is unaffected).
+            qufi_obs::add("checkpoint.salvaged_lines", 1);
+            qufi_obs::log::warn(&format!(
+                "job {job_id}: salvaged a torn checkpoint line ({torn_bytes} bytes \
+                 dropped from {}); the interrupted point will re-run",
+                path.display()
+            ));
             // Heal the file so later appends land after a complete line
             // (and so the header-or-not decision in append_records stays
             // a simple is-the-file-empty check). Loads and appends never
@@ -266,7 +276,10 @@ impl CheckpointStore {
         file.write_all(payload.as_bytes())
             .map_err(|e| CliError::io("appending job records", &path, e))?;
         file.flush()
-            .map_err(|e| CliError::io("flushing job records", &path, e))
+            .map_err(|e| CliError::io("flushing job records", &path, e))?;
+        qufi_obs::add("checkpoint.appends", 1);
+        qufi_obs::add("checkpoint.bytes", payload.len() as u64);
+        Ok(())
     }
 
     /// Job ids present in the store (sorted), whether complete or not.

@@ -62,6 +62,7 @@ impl JobExport {
 ///
 /// Missing/corrupt checkpoints and filesystem failures.
 pub fn export_artifacts(manifest: &Manifest, out_dir: &Path) -> Result<ExportReport, CliError> {
+    let _export_span = qufi_obs::span("export.write_ns");
     let store = CheckpointStore::open(out_dir)?;
     let grid = manifest.grid.to_grid()?;
     let results_dir = out_dir.join("results");
@@ -148,6 +149,8 @@ pub fn export_artifacts(manifest: &Manifest, out_dir: &Path) -> Result<ExportRep
 }
 
 fn write(files: &mut Vec<PathBuf>, path: PathBuf, contents: String) -> Result<(), CliError> {
+    qufi_obs::add("export.files", 1);
+    qufi_obs::add("export.bytes", contents.len() as u64);
     fs::write(&path, contents).map_err(|e| CliError::io("writing artifact", &path, e))?;
     files.push(path);
     Ok(())

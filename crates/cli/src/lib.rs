@@ -47,7 +47,9 @@ pub mod error;
 pub mod export;
 pub mod job;
 pub mod manifest;
+pub mod obs_artifacts;
 pub mod runner;
+pub mod stats;
 pub mod toml;
 
 pub use error::CliError;
@@ -55,6 +57,7 @@ pub use export::{export_artifacts, ExportReport};
 pub use job::{job_matrix, JobSpec};
 pub use manifest::{ExecutorKind, GridSpec, Manifest};
 pub use runner::{dry_run_plan, run_campaign, JobOutcome, RunOptions, RunStatus, RunSummary};
+pub use stats::{render_runs, render_stats};
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -119,6 +122,12 @@ pub fn load_stored_manifest(out_dir: &Path) -> Result<Manifest, CliError> {
 /// Under a point budget the run may come back [`RunStatus::Interrupted`]
 /// with partial artifacts; a later call (or `qufi resume`) finishes it.
 ///
+/// With [`RunOptions::metrics`] the telemetry recorder is reset and
+/// enabled around the run, and `metrics.json`/`costs.csv` (plus
+/// `trace.jsonl` under [`RunOptions::trace`]) land in `out_dir` — next
+/// to the stored manifest, never inside `results/`, whose bytes are
+/// identical with telemetry on or off.
+///
 /// # Errors
 ///
 /// Everything [`run_campaign`] and [`export_artifacts`] can raise.
@@ -128,9 +137,28 @@ pub fn run_to_completion(
     opts: &RunOptions,
 ) -> Result<CampaignOutcome, CliError> {
     store_or_check_manifest(manifest, out_dir)?;
-    let summary = run_campaign(manifest, out_dir, opts)?;
-    let export = export_artifacts(manifest, out_dir)?;
-    Ok(CampaignOutcome { summary, export })
+    let telemetry = opts.metrics || opts.trace;
+    if telemetry {
+        qufi_obs::reset();
+        qufi_obs::enable();
+        if opts.trace {
+            qufi_obs::enable_trace();
+        }
+    }
+    let outcome = (|| {
+        let total_span = qufi_obs::span("campaign.total_ns");
+        let summary = run_campaign(manifest, out_dir, opts)?;
+        let export = export_artifacts(manifest, out_dir)?;
+        total_span.finish();
+        Ok(CampaignOutcome { summary, export })
+    })();
+    if telemetry {
+        qufi_obs::disable();
+        if outcome.is_ok() {
+            obs_artifacts::write_artifacts(out_dir, opts.trace)?;
+        }
+    }
+    outcome
 }
 
 /// `qufi resume`: continue the campaign stored in `out_dir`.

@@ -1,18 +1,21 @@
 //! `qufi` — campaign orchestration for the QuFI fault injector.
 //!
 //! ```text
-//! qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet] [--dry-run]
-//! qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet]
+//! qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet|--verbose]
+//!                          [--no-metrics] [--trace] [--dry-run]
+//! qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet|--verbose]
+//!                            [--no-metrics] [--trace]
 //! qufi export <campaign-dir>
-//! qufi list {workloads|backends|grids}
+//! qufi stats <campaign-dir> [--top N]
+//! qufi list {workloads|backends|grids|runs [DIR]}
 //! ```
 //!
 //! Exit codes: `0` success / campaign complete, `2` budget expired
 //! (resume to continue), `1` any error.
 
 use qufi_cli::{
-    default_out_dir, dry_run_plan, export_artifacts, load_stored_manifest, resume,
-    run_to_completion, CliError, GridSpec, Manifest, RunOptions, RunStatus,
+    default_out_dir, dry_run_plan, export_artifacts, load_stored_manifest, render_runs,
+    render_stats, resume, run_to_completion, CliError, GridSpec, Manifest, RunOptions, RunStatus,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -21,32 +24,46 @@ const USAGE: &str = "\
 qufi — QuFI campaign orchestration
 
 USAGE:
-    qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet] [--dry-run]
-    qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet]
+    qufi run <manifest.toml> [--out DIR] [--threads N] [--budget N] [--quiet|--verbose]
+                             [--no-metrics] [--trace] [--dry-run]
+    qufi resume <campaign-dir> [--threads N] [--budget N] [--quiet|--verbose]
+                               [--no-metrics] [--trace]
     qufi export <campaign-dir>
-    qufi list {workloads|backends|grids}
+    qufi stats <campaign-dir> [--top N]
+    qufi list {workloads|backends|grids|runs [DIR]}
 
 COMMANDS:
     run      Execute a campaign manifest; checkpoints land in the output
-             directory, artifacts in <out>/results.
+             directory, artifacts in <out>/results, telemetry in
+             <out>/metrics.json and <out>/costs.csv.
     resume   Continue an interrupted campaign from its checkpoints.
     export   Regenerate <dir>/results from checkpoints, without running.
-    list     Show the registered workloads, backends, or grid presets.
+    stats    Render the phase breakdown, counters, and slowest points
+             from a run's telemetry artifacts.
+    list     Show the registered workloads, backends, grid presets — or
+             per-job progress of the runs under DIR (default: qufi-runs).
 
 OPTIONS:
     --out DIR      Output directory (default: qufi-runs/<campaign name>)
     --threads N    Override the manifest's worker-thread count
     --budget N     Stop after N injection points (graceful; resume later)
-    --quiet        Suppress progress reporting on stderr
+    --quiet        Errors only on stderr
+    --verbose      Progress on stderr even when it is not a terminal
+    --no-metrics   Skip telemetry recording and its artifacts
+    --trace        Also write a trace.jsonl span log (implies metrics)
+    --top N        (stats only) Slowest points to show (default: 10)
     --dry-run      (run only) Print the resolved job × point × config task
                    matrix and thread split without executing anything
+
+Telemetry never changes campaign results: everything under results/ is
+byte-identical with metrics on or off, at any thread count.
 ";
 
 fn main() -> ExitCode {
     match dispatch(std::env::args().skip(1).collect()) {
         Ok(status) => status,
         Err(e) => {
-            eprintln!("error: {e}");
+            qufi_obs::log::error(&e.to_string());
             if matches!(e, CliError::Usage(_)) {
                 eprintln!("\n{USAGE}");
             }
@@ -62,6 +79,7 @@ fn dispatch(args: Vec<String>) -> Result<ExitCode, CliError> {
         "run" => cmd_run(args.collect()),
         "resume" => cmd_resume(args.collect()),
         "export" => cmd_export(args.collect()),
+        "stats" => cmd_stats(args.collect()),
         "list" => cmd_list(args.collect()),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -76,6 +94,9 @@ struct CommonFlags {
     out: Option<PathBuf>,
     opts: RunOptions,
     dry_run: bool,
+    verbose: bool,
+    no_metrics: bool,
+    top: Option<usize>,
 }
 
 fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
@@ -84,6 +105,9 @@ fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
         out: None,
         opts: RunOptions::default(),
         dry_run: false,
+        verbose: false,
+        no_metrics: false,
+        top: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -97,10 +121,31 @@ fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
                 flags.opts.point_budget = Some(parse_number(&take_value(&mut iter, "--budget")?)?)
             }
             "--quiet" | "-q" => flags.opts.quiet = true,
+            "--verbose" | "-v" => flags.verbose = true,
+            "--no-metrics" => flags.no_metrics = true,
+            "--trace" => flags.opts.trace = true,
+            "--top" => flags.top = Some(parse_number(&take_value(&mut iter, "--top")?)?),
             a if a.starts_with("--") => return Err(CliError::usage(format!("unknown flag {a:?}"))),
             _ => flags.positional.push(arg),
         }
     }
+    if flags.opts.quiet && flags.verbose {
+        return Err(CliError::usage(
+            "--quiet and --verbose are mutually exclusive",
+        ));
+    }
+    // Telemetry is on by default for run/resume; --no-metrics opts out
+    // (a --trace next to it still wins, since a trace needs the recorder).
+    flags.opts.metrics = !flags.no_metrics;
+    // The log sink is process-wide: every command's warnings (e.g. a
+    // torn-checkpoint salvage during list/export) obey the same flags.
+    qufi_obs::log::set_verbosity(if flags.opts.quiet {
+        qufi_obs::log::Verbosity::Quiet
+    } else if flags.verbose {
+        qufi_obs::log::Verbosity::Verbose
+    } else {
+        qufi_obs::log::Verbosity::Normal
+    });
     Ok(flags)
 }
 
@@ -114,22 +159,29 @@ fn parse_number(text: &str) -> Result<usize, CliError> {
         .map_err(|_| CliError::usage(format!("{text:?} is not a number")))
 }
 
-fn finish(outcome: qufi_cli::CampaignOutcome, out_dir: &Path, quiet: bool) -> ExitCode {
-    if !quiet {
+fn finish(outcome: qufi_cli::CampaignOutcome, out_dir: &Path, opts: &RunOptions) -> ExitCode {
+    if !opts.quiet {
         println!(
             "artifacts: {} files under {}",
             outcome.export.files.len(),
             out_dir.join("results").display()
         );
+        if opts.metrics || opts.trace {
+            println!(
+                "telemetry: {} (inspect with `qufi stats {}`)",
+                out_dir.join("metrics.json").display(),
+                out_dir.display()
+            );
+        }
     }
     match outcome.summary.status {
         RunStatus::Complete => ExitCode::SUCCESS,
         RunStatus::Interrupted => {
-            eprintln!(
+            qufi_obs::log::warn(&format!(
                 "budget expired after {} points; continue with: qufi resume {}",
                 outcome.summary.points_run,
                 out_dir.display()
-            );
+            ));
             ExitCode::from(2)
         }
     }
@@ -152,7 +204,7 @@ fn cmd_run(args: Vec<String>) -> Result<ExitCode, CliError> {
     if !flags.opts.quiet {
         print!("{}", outcome.export.summary_table);
     }
-    Ok(finish(outcome, &out_dir, flags.opts.quiet))
+    Ok(finish(outcome, &out_dir, &flags.opts))
 }
 
 /// `--dry-run` must never be silently ignored: outside `qufi run` it would
@@ -177,7 +229,7 @@ fn cmd_resume(args: Vec<String>) -> Result<ExitCode, CliError> {
     if !flags.opts.quiet {
         print!("{}", outcome.export.summary_table);
     }
-    Ok(finish(outcome, &out_dir, flags.opts.quiet))
+    Ok(finish(outcome, &out_dir, &flags.opts))
 }
 
 fn cmd_export(args: Vec<String>) -> Result<ExitCode, CliError> {
@@ -201,15 +253,35 @@ fn cmd_export(args: Vec<String>) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_stats(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let flags = parse_flags(args)?;
+    reject_dry_run(&flags)?;
+    let [dir] = &flags.positional[..] else {
+        return Err(CliError::usage(
+            "stats takes exactly one campaign directory",
+        ));
+    };
+    print!("{}", render_stats(Path::new(dir), flags.top.unwrap_or(10))?);
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_list(args: Vec<String>) -> Result<ExitCode, CliError> {
     let flags = parse_flags(args)?;
     reject_dry_run(&flags)?;
-    let [what] = &flags.positional[..] else {
-        return Err(CliError::usage(
-            "list takes one of: workloads, backends, grids",
-        ));
+    let (what, rest) = match &flags.positional[..] {
+        [what] => (what, None),
+        [what, dir] if what == "runs" => (what, Some(PathBuf::from(dir))),
+        _ => {
+            return Err(CliError::usage(
+                "list takes one of: workloads, backends, grids, runs [DIR]",
+            ))
+        }
     };
     match what.as_str() {
+        "runs" => {
+            let dir = rest.unwrap_or_else(|| PathBuf::from("qufi-runs"));
+            print!("{}", render_runs(&dir)?);
+        }
         "workloads" => {
             println!("workload families (instantiate as <family>-<qubits>):");
             for info in qufi_algos::registry::families() {
@@ -247,7 +319,7 @@ fn cmd_list(args: Vec<String>) -> Result<ExitCode, CliError> {
         }
         other => {
             return Err(CliError::usage(format!(
-                "cannot list {other:?}; try workloads, backends, or grids"
+                "cannot list {other:?}; try workloads, backends, grids, or runs"
             )))
         }
     }

@@ -1,0 +1,98 @@
+//! Telemetry artifacts of a campaign run: `metrics.json`, `costs.csv`
+//! and (under `--trace`) `trace.jsonl`.
+//!
+//! These land in the campaign directory **root**, next to `manifest.toml`
+//! — deliberately outside `results/`, which holds only deterministic
+//! exports derived from checkpoints. Telemetry describes *the latest
+//! invocation* (the recorder resets per run): a resumed campaign's
+//! metrics cover the resuming process, not the sum of all invocations.
+
+use crate::error::CliError;
+use qufi_obs::Snapshot;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Counter/histogram dump of one invocation.
+pub const METRICS_FILE: &str = "metrics.json";
+/// Per-point cost rows (`job,op_index,qubit,prepare_ns,replay_ns,cells`).
+pub const COSTS_FILE: &str = "costs.csv";
+/// Span log (JSONL), written only under `--trace`.
+pub const TRACE_FILE: &str = "trace.jsonl";
+
+/// Drains the recorder into `out_dir` — `metrics.json` + `costs.csv`,
+/// plus `trace.jsonl` when `with_trace`. Returns the paths written.
+///
+/// # Errors
+///
+/// Filesystem failures.
+pub fn write_artifacts(out_dir: &Path, with_trace: bool) -> Result<Vec<PathBuf>, CliError> {
+    let snap = qufi_obs::snapshot();
+    let mut written = Vec::new();
+    let metrics_path = out_dir.join(METRICS_FILE);
+    fs::write(&metrics_path, snap.to_json())
+        .map_err(|e| CliError::io("writing metrics", &metrics_path, e))?;
+    written.push(metrics_path);
+    let costs_path = out_dir.join(COSTS_FILE);
+    fs::write(&costs_path, snap.costs_csv())
+        .map_err(|e| CliError::io("writing cost profile", &costs_path, e))?;
+    written.push(costs_path);
+    if with_trace {
+        let trace_path = out_dir.join(TRACE_FILE);
+        let events = qufi_obs::take_trace();
+        fs::write(&trace_path, qufi_obs::trace::to_jsonl(&events))
+            .map_err(|e| CliError::io("writing trace", &trace_path, e))?;
+        written.push(trace_path);
+    }
+    Ok(written)
+}
+
+/// Loads a run directory's `metrics.json`, if present.
+///
+/// # Errors
+///
+/// An unreadable or malformed file ( *absence* is `Ok(None)`).
+pub fn load_metrics(run_dir: &Path) -> Result<Option<Snapshot>, CliError> {
+    let path = run_dir.join(METRICS_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CliError::io("reading metrics", &path, e)),
+    };
+    Snapshot::from_json(&text)
+        .map(Some)
+        .map_err(|e| CliError::manifest(format!("{}: {e}", path.display())))
+}
+
+/// Loads a run directory's `costs.csv`, if present.
+///
+/// # Errors
+///
+/// An unreadable or malformed file (absence is `Ok(None)`).
+pub fn load_costs(run_dir: &Path) -> Result<Option<Vec<qufi_obs::CostRecord>>, CliError> {
+    let path = run_dir.join(COSTS_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CliError::io("reading cost profile", &path, e)),
+    };
+    qufi_obs::parse_costs_csv(&text)
+        .map(Some)
+        .map_err(|e| CliError::manifest(format!("{}: {e}", path.display())))
+}
+
+/// Loads a run directory's `trace.jsonl`, if present.
+///
+/// # Errors
+///
+/// An unreadable or malformed file (absence is `Ok(None)`).
+pub fn load_trace(run_dir: &Path) -> Result<Option<Vec<qufi_obs::trace::TraceEvent>>, CliError> {
+    let path = run_dir.join(TRACE_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CliError::io("reading trace", &path, e)),
+    };
+    qufi_obs::trace::parse_jsonl(&text)
+        .map(Some)
+        .map_err(|e| CliError::manifest(format!("{}: {e}", path.display())))
+}

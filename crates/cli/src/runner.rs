@@ -30,8 +30,16 @@ pub struct RunOptions {
     /// points have been *executed* in this invocation — time-boxed runs
     /// and interruption tests.
     pub point_budget: Option<usize>,
-    /// Suppress progress reporting on stderr.
+    /// Suppress progress reporting on stderr. (Progress also respects the
+    /// process-wide [`qufi_obs::log`] verbosity; this is a hard off.)
     pub quiet: bool,
+    /// Record telemetry (counters, phase histograms, per-point costs) for
+    /// this run and write `metrics.json`/`costs.csv` next to the
+    /// checkpoints. Telemetry observes wall time only — artifacts under
+    /// `results/` are byte-identical either way.
+    pub metrics: bool,
+    /// Additionally write a `trace.jsonl` span log (implies `metrics`).
+    pub trace: bool,
 }
 
 /// Whether the campaign ran to completion.
@@ -100,11 +108,14 @@ pub fn run_campaign(
 
     // Prepare every job: build runtimes, reconcile checkpoints, and
     // collect the pending point list.
+    let prepare_span = qufi_obs::span("campaign.prepare_ns");
     let specs = job_matrix(manifest);
     let mut jobs = Vec::with_capacity(specs.len());
     let mut points_resumed = 0usize;
     for (idx, spec) in specs.iter().enumerate() {
+        let job_span = qufi_obs::span("job.prepare_ns");
         let runtime = JobRuntime::prepare(manifest, spec)?;
+        job_span.finish();
         let meta = match store.load_meta(&spec.id())? {
             Some(stored) => {
                 reconcile(&stored, &JobMeta::from_runtime(&runtime))?;
@@ -126,7 +137,7 @@ pub fn run_campaign(
             .collect();
         points_resumed += runtime.points.len() - pending.len();
         if !opts.quiet {
-            eprintln!(
+            qufi_obs::log::info(&format!(
                 "[prepare {}/{}] {}: {} points ({} checkpointed, {} to run)",
                 idx + 1,
                 specs.len(),
@@ -134,7 +145,7 @@ pub fn run_campaign(
                 runtime.points.len(),
                 runtime.points.len() - pending.len(),
                 pending.len(),
-            );
+            ));
         }
         jobs.push(PreparedJob {
             runtime,
@@ -144,6 +155,8 @@ pub fn run_campaign(
             done: AtomicUsize::new(done_points.len()),
         });
     }
+    prepare_span.finish();
+    qufi_obs::add("campaign.points_resumed", points_resumed as u64);
 
     // Fan pending (job, point) tasks across the pool.
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, InjectionPoint)>();
@@ -167,12 +180,13 @@ pub fn run_campaign(
     let (n_threads, grid_threads) =
         qufi_core::campaign::split_thread_budget(resolve_threads(manifest, opts), total_pending);
     if !opts.quiet && total_pending > 0 {
-        eprintln!(
+        qufi_obs::log::info(&format!(
             "[threads] {n_threads} point worker(s) × {grid_threads} grid thread(s) \
              for {total_pending} pending point(s)"
-        );
+        ));
     }
 
+    let execute_span = qufi_obs::span("campaign.execute_ns");
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
             let rx = rx.clone();
@@ -185,22 +199,23 @@ pub fn run_campaign(
             scope.spawn(move || {
                 while let Ok((job_idx, point)) = rx.recv() {
                     if stopped.load(Ordering::SeqCst) || first_error.lock().is_some() {
-                        return;
+                        break;
                     }
                     // Claim budget before running so an exhausted budget
                     // never executes (and never checkpoints) extra work.
                     if executed.fetch_add(1, Ordering::SeqCst) >= budget {
                         executed.fetch_sub(1, Ordering::SeqCst);
                         stopped.store(true, Ordering::SeqCst);
-                        return;
+                        break;
                     }
                     let job = &jobs[job_idx];
+                    let _job_label = qufi_obs::job_scope(&job.meta.id);
                     match job.runtime.run_point_split(point, grid, grid_threads) {
                         Ok(shard) => {
                             let guard = job.append_lock.lock();
                             if let Err(e) = store.append_records(&job.meta.id, &shard) {
                                 first_error.lock().get_or_insert(e);
-                                return;
+                                break;
                             }
                             drop(guard);
                             let done = job.done.fetch_add(1, Ordering::SeqCst) + 1;
@@ -210,13 +225,19 @@ pub fn run_campaign(
                         }
                         Err(e) => {
                             first_error.lock().get_or_insert(CliError::Exec(e));
-                            return;
+                            break;
                         }
                     }
                 }
+                // Merge telemetry before the closure returns: the scope's
+                // exit synchronizes with closure completion, not with TLS
+                // destructors, so at-exit merging would race the snapshot
+                // taken after the scope.
+                qufi_obs::flush();
             });
         }
     });
+    execute_span.finish();
 
     if let Some(e) = first_error.into_inner() {
         return Err(e);
@@ -228,6 +249,7 @@ pub fn run_campaign(
         RunStatus::Complete
     };
     let points_run = executed.into_inner();
+    qufi_obs::add("campaign.points_run", points_run as u64);
     let jobs: Vec<JobOutcome> = jobs
         .into_iter()
         .map(|j| JobOutcome {
@@ -237,7 +259,7 @@ pub fn run_campaign(
         .collect();
     if !opts.quiet {
         let done_jobs = jobs.iter().filter(|j| j.is_complete()).count();
-        eprintln!(
+        qufi_obs::log::info(&format!(
             "{}: {done_jobs}/{} jobs complete, {points_run} points run, \
              {points_resumed} resumed from checkpoint ({:.1}s)",
             match status {
@@ -246,7 +268,7 @@ pub fn run_campaign(
             },
             jobs.len(),
             started.elapsed().as_secs_f64(),
-        );
+        ));
     }
     Ok(RunSummary {
         status,
@@ -330,7 +352,7 @@ fn resolve_threads(manifest: &Manifest, opts: &RunOptions) -> usize {
 /// interrupt/re-run cycles legitimately leave behind. Partially-swept
 /// points count as missing and are re-run; duplicates merge away at
 /// export time.
-fn complete_points(
+pub(crate) fn complete_points(
     records: &[qufi_core::InjectionRecord],
     grid: &FaultGrid,
 ) -> std::collections::HashSet<InjectionPoint> {
@@ -379,7 +401,7 @@ fn report_progress(meta: &JobMeta, done: usize) {
     let total = meta.points_total;
     let stride = (total / 10).max(1);
     if done == total || done.is_multiple_of(stride) {
-        eprintln!("  [{}] {done}/{total} points", meta.id);
+        qufi_obs::log::info(&format!("  [{}] {done}/{total} points", meta.id));
     }
 }
 

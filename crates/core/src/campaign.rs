@@ -299,8 +299,19 @@ pub fn run_point_sweep_parallel<E: SweepExecutor + ?Sized>(
     grid: &FaultGrid,
     grid_threads: usize,
 ) -> Result<Vec<InjectionRecord>, ExecError> {
+    let prepare_span = qufi_obs::span("point.prepare_ns");
     let prepared = executor.prepare(qc, point)?;
+    let prepare_ns = prepare_span.finish();
+    let replay_span = qufi_obs::span("point.replay_ns");
     let dists = prepared.replay_grid(grid, grid_threads)?;
+    let replay_ns = replay_span.finish();
+    qufi_obs::record_cost(
+        point.op_index,
+        point.qubit,
+        prepare_ns,
+        replay_ns,
+        grid.len() as u64,
+    );
     Ok(grid
         .iter()
         .zip(dists)

@@ -200,13 +200,20 @@ fn replay_grid_chunked<S: PreparedSweep + ?Sized>(
     if cells.is_empty() {
         return Ok(Vec::new());
     }
+    // One span per grid, one counter add per chunk: the per-cell loop
+    // below stays telemetry-free.
+    let _grid_span = qufi_obs::span("replay.grid_ns");
     let workers = threads.max(1).min(cells.len());
     if workers == 1 {
         let mut scratch = ReplayScratch::new();
-        return cells
+        let dists: Result<Vec<ProbDist>, ExecError> = cells
             .iter()
             .map(|&fault| sweep.replay_with(fault, &mut scratch))
             .collect();
+        if dists.is_ok() {
+            qufi_obs::add("replay.cells", cells.len() as u64);
+        }
+        return dists;
     }
     // Contiguous chunks of fixed size: the (cell → worker) assignment is a
     // pure function of (grid.len(), threads), never of scheduling.
@@ -222,14 +229,18 @@ fn replay_grid_chunked<S: PreparedSweep + ?Sized>(
             let failed = &failed;
             scope.spawn(move || {
                 let mut scratch = ReplayScratch::new();
+                let mut completed: u64 = 0;
                 for (slot, &fault) in slots.iter_mut().zip(faults) {
                     // A failure anywhere aborts the whole grid; stop
                     // burning replays whose results would be discarded.
                     if failed.load(std::sync::atomic::Ordering::Relaxed) {
-                        return;
+                        break;
                     }
                     match sweep.replay_with(fault, &mut scratch) {
-                        Ok(dist) => *slot = Some(dist),
+                        Ok(dist) => {
+                            *slot = Some(dist);
+                            completed += 1;
+                        }
                         Err(e) => {
                             failed.store(true, std::sync::atomic::Ordering::Relaxed);
                             let mut guard = first_error.lock();
@@ -238,10 +249,16 @@ fn replay_grid_chunked<S: PreparedSweep + ?Sized>(
                             if guard.as_ref().is_none_or(|(i, _)| chunk_idx < *i) {
                                 *guard = Some((chunk_idx, e));
                             }
-                            return;
+                            break;
                         }
                     }
                 }
+                qufi_obs::add("replay.cells", completed);
+                // Merge before the closure returns: the scope's exit
+                // synchronizes with closure completion, not with TLS
+                // destructors, so relying on the sink's at-exit Drop
+                // would race the caller's snapshot.
+                qufi_obs::flush();
             });
         }
     });
@@ -319,8 +336,10 @@ struct IdealPrepared {
 
 impl IdealPrepared {
     fn new(qc: &QuantumCircuit, sites: Vec<SpliceSite>) -> Result<Self, ExecError> {
+        let prefix_span = qufi_obs::span("prepare.prefix_ns");
         let mut prefix = CircuitCursor::<Statevector>::start(qc).map_err(ExecError::Sim)?;
         prefix.advance_to(qc, sites[0].index);
+        prefix_span.finish();
         Ok(IdealPrepared {
             circuit: qc.clone(),
             sites,
@@ -455,22 +474,30 @@ impl PhysicalSweep {
         n_sites: usize,
         model_for: impl FnOnce(&[usize]) -> NoiseModel,
     ) -> Result<Self, ExecError> {
+        let transpile_span = qufi_obs::span("prepare.transpile_ns");
         let result = transpiler.run(&marked)?;
+        transpile_span.finish();
+        let compact_span = qufi_obs::span("prepare.compact_ns");
         let active = result.active_physical_qubits();
         let compact = compact_circuit(result.circuit(), &active);
         let (physical, sites) = extract_splice_sites(&compact);
+        compact_span.finish();
         if sites.len() != n_sites {
             return Err(ExecError::Engine(format!(
                 "expected {n_sites} splice markers after transpilation, found {}",
                 sites.len()
             )));
         }
+        let plan_span = qufi_obs::span("prepare.plan_ns");
         let model = model_for(&active);
         let plan = NoisePlan::compile(&physical, &model);
+        plan_span.finish();
+        let prefix_span = qufi_obs::span("prepare.prefix_ns");
         let mut cursor = NoisyCursor::start(&physical, &model).map_err(ExecError::Sim)?;
         cursor.advance_planned(&plan, sites[0].index);
         let prefix_pos = cursor.position();
         let prefix = cursor.into_state();
+        prefix_span.finish();
         Ok(PhysicalSweep {
             marked,
             physical,

@@ -52,6 +52,8 @@ impl NoisePlan {
     ///
     /// Panics if the model covers fewer qubits than the circuit uses.
     pub fn compile(qc: &QuantumCircuit, model: &NoiseModel) -> Self {
+        let _compile_span = qufi_obs::span("noise.plan.compile_ns");
+        qufi_obs::add("noise.plans_compiled", 1);
         assert!(
             model.num_qubits() >= qc.num_qubits(),
             "noise model covers {} qubits, circuit needs {}",

@@ -1,0 +1,193 @@
+//! Fixed log-bucketed histograms.
+//!
+//! The bucket layout is a pure function of the value — bucket `0` holds
+//! zero, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)` — so merging
+//! per-thread histograms is element-wise addition and two runs that
+//! observe the same values produce the same layout, regardless of
+//! observation order or thread interleaving. Alongside the buckets the
+//! histogram keeps exact `count`/`sum`/`min`/`max`, so phase totals read
+//! from an artifact are not quantized.
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a value under the fixed log layout.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+#[must_use]
+pub fn bucket_floor(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// A log-bucketed histogram with exact moments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Merges another histogram into this one (bucket layouts are fixed,
+    /// so merging is element-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Rebuilds a histogram from its serialized form (exact moments plus
+    /// the non-empty `(index, count)` bucket pairs).
+    #[must_use]
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, nonzero: &[(usize, u64)]) -> Self {
+        let mut h = Histogram {
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+            buckets: [0; BUCKETS],
+        };
+        for &(i, c) in nonzero {
+            if i < BUCKETS {
+                h.buckets[i] = c;
+            }
+        }
+        h
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs in ascending index
+    /// order — the serialized form.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_deterministic_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i, "floor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn observe_tracks_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [5u64, 0, 1000, 5] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (3, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_serialized_form() {
+        let mut h = Histogram::new();
+        for v in [7u64, 0, 300, 300, 1 << 40] {
+            h.observe(v);
+        }
+        let back = Histogram::from_parts(h.count, h.sum, h.min, h.max, &h.nonzero_buckets());
+        assert_eq!(back, h);
+        assert_eq!(Histogram::from_parts(0, 0, 0, 0, &[]), Histogram::new());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for (i, v) in [3u64, 17, 0, 90, 17, 2048].iter().enumerate() {
+            whole.observe(*v);
+            if i % 2 == 0 {
+                a.observe(*v);
+            } else {
+                b.observe(*v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+}

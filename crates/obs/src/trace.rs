@@ -1,0 +1,192 @@
+//! Span trace events: JSONL serialization and nesting validation.
+//!
+//! A trace is the flat list of finished spans, one JSON object per line:
+//!
+//! ```text
+//! {"name":"point.replay_ns","thread":2,"start_ns":81250,"dur_ns":902133,"depth":1}
+//! ```
+//!
+//! `start_ns` is relative to the recorder epoch (set by `enable`/`reset`),
+//! `thread` is a small sequential id assigned in order of first telemetry
+//! activity, and `depth` is the span-stack depth at open time. Because the
+//! recorder pushes an event when a span *closes*, file order is finish
+//! order; [`validate_nesting`] re-sorts per thread and checks that the
+//! recorded depths describe a proper interval tree (every span contained
+//! in its parent).
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (a metric histogram name, e.g. `replay.grid_ns`).
+    pub name: String,
+    /// Sequential recorder thread id.
+    pub thread: u64,
+    /// Open time in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Span-stack depth at open time (0 = root).
+    pub depth: u32,
+}
+
+impl TraceEvent {
+    fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+/// Renders events as JSONL, one object per line.
+#[must_use]
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = writeln!(
+            out,
+            "{{\"name\":{},\"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"depth\":{}}}",
+            json::quote(&ev.name),
+            ev.thread,
+            ev.start_ns,
+            ev.dur_ns,
+            ev.depth
+        );
+    }
+    out
+}
+
+/// Parses a JSONL trace (blank lines ignored).
+///
+/// # Errors
+///
+/// A line that is not a JSON object with the expected fields.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {}: missing field {key:?}", lineno + 1))
+        };
+        out.push(TraceEvent {
+            name: v
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: missing field \"name\"", lineno + 1))?
+                .to_string(),
+            thread: field("thread")?,
+            start_ns: field("start_ns")?,
+            dur_ns: field("dur_ns")?,
+            depth: u32::try_from(field("depth")?)
+                .map_err(|_| format!("line {}: depth out of range", lineno + 1))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Checks that every span nests inside its parent.
+///
+/// Per thread, events are sorted by open time (parents first on ties —
+/// a parent opens before its children) and replayed against a span
+/// stack: each event's recorded depth must match the stack after
+/// unwinding to it, and its interval must lie inside the parent's.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_nesting(events: &[TraceEvent]) -> Result<(), String> {
+    let mut per_thread: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        per_thread.entry(ev.thread).or_default().push(ev);
+    }
+    for (thread, mut evs) in per_thread {
+        evs.sort_by_key(|e| (e.start_ns, e.depth));
+        let mut stack: Vec<&TraceEvent> = Vec::new();
+        for ev in evs {
+            if (ev.depth as usize) > stack.len() {
+                return Err(format!(
+                    "thread {thread}: span {:?} at depth {} with only {} open ancestors",
+                    ev.name,
+                    ev.depth,
+                    stack.len()
+                ));
+            }
+            stack.truncate(ev.depth as usize);
+            if let Some(parent) = stack.last() {
+                if ev.start_ns < parent.start_ns || ev.end_ns() > parent.end_ns() {
+                    return Err(format!(
+                        "thread {thread}: span {:?} [{}, {}] escapes parent {:?} [{}, {}]",
+                        ev.name,
+                        ev.start_ns,
+                        ev.end_ns(),
+                        parent.name,
+                        parent.start_ns,
+                        parent.end_ns()
+                    ));
+                }
+            }
+            stack.push(ev);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, thread: u64, start_ns: u64, dur_ns: u64, depth: u32) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            thread,
+            start_ns,
+            dur_ns,
+            depth,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = vec![
+            ev("campaign.total_ns", 0, 0, 1000, 0),
+            ev("point.replay_ns", 1, 10, 500, 1),
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn well_nested_spans_validate_even_in_finish_order() {
+        // Finish order: inner spans first, the way the recorder emits them.
+        let events = vec![
+            ev("inner_a", 0, 10, 20, 1),
+            ev("inner_b", 0, 40, 30, 1),
+            ev("leaf", 0, 45, 10, 2),
+            ev("outer", 0, 0, 100, 0),
+            ev("other_root", 1, 5, 50, 0),
+        ];
+        validate_nesting(&events).unwrap();
+    }
+
+    #[test]
+    fn escaping_and_orphaned_spans_are_rejected() {
+        let escapes = vec![ev("outer", 0, 0, 50, 0), ev("inner", 0, 40, 30, 1)];
+        assert!(validate_nesting(&escapes).unwrap_err().contains("escapes"));
+        let orphan = vec![ev("inner", 0, 10, 5, 2), ev("outer", 0, 0, 100, 0)];
+        assert!(validate_nesting(&orphan).unwrap_err().contains("ancestors"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"name\":\"x\"}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("\n\n").unwrap().is_empty());
+    }
+}

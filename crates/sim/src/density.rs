@@ -288,6 +288,7 @@ impl DensityMatrix {
     /// [`DensityMatrix::snapshot`] that replay loops use to restore a
     /// parked prefix state into a per-thread scratch matrix.
     pub fn copy_from(&mut self, src: &DensityMatrix) {
+        qufi_obs::add("sim.state_copies", 1);
         self.n = src.n;
         self.dim = src.dim;
         self.data.clone_from(&src.data);

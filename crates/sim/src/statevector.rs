@@ -176,6 +176,7 @@ impl Statevector {
     /// counterpart of [`Statevector::snapshot`] for replay loops that
     /// restore a parked prefix state into per-thread scratch.
     pub fn copy_from(&mut self, src: &Statevector) {
+        qufi_obs::add("sim.state_copies", 1);
         self.n = src.n;
         self.amps.clone_from(&src.amps);
     }
