@@ -130,6 +130,17 @@ impl JobMeta {
     }
 }
 
+/// Whether checkpoint appends should also `fsync` — the durability
+/// knob for operators whose failure model includes power loss, not just
+/// process death. Off by default (a torn tail is already survivable);
+/// set `QUFI_FSYNC=1` to pay the sync on every append.
+fn fsync_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("QUFI_FSYNC").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
+
 /// The checkpoint directory of one campaign.
 pub struct CheckpointStore {
     dir: PathBuf,
@@ -277,8 +288,35 @@ impl CheckpointStore {
             .map_err(|e| CliError::io("appending job records", &path, e))?;
         file.flush()
             .map_err(|e| CliError::io("flushing job records", &path, e))?;
+        if fsync_enabled() {
+            file.sync_all()
+                .map_err(|e| CliError::io("syncing job records", &path, e))?;
+            qufi_obs::add("checkpoint.fsyncs", 1);
+        }
         qufi_obs::add("checkpoint.appends", 1);
         qufi_obs::add("checkpoint.bytes", payload.len() as u64);
+        Ok(())
+    }
+
+    /// Replaces a job's record log with `records` wholesale, atomically
+    /// (temp file + rename). The shard merge uses this to fold per-unit
+    /// files into the canonical single-node checkpoint layout; unlike
+    /// [`CheckpointStore::append_records`] the result never mixes old
+    /// and new generations.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn replace_records(
+        &self,
+        job_id: &str,
+        records: &[InjectionRecord],
+    ) -> Result<(), CliError> {
+        let path = self.records_path(job_id);
+        let csv = records_to_csv(records);
+        crate::atomic_write(&path, csv.as_bytes(), "replacing job records")?;
+        qufi_obs::add("checkpoint.replaces", 1);
+        qufi_obs::add("checkpoint.bytes", csv.len() as u64);
         Ok(())
     }
 

@@ -4,11 +4,111 @@ use core::fmt;
 use qufi_core::ExecError;
 use std::path::PathBuf;
 
+/// What class of manifest problem a [`ManifestIssue`] reports — the
+/// machine-readable half of manifest validation, so callers (and tests)
+/// can react to *what* went wrong instead of grepping prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManifestErrorKind {
+    /// The TOML text itself does not parse.
+    Syntax,
+    /// A section or key the schema does not know.
+    UnknownKey,
+    /// A required key is absent.
+    MissingKey,
+    /// A key holds the wrong type or a malformed value.
+    BadValue,
+    /// A name that is not in the workload/backend/preset registries.
+    UnknownName,
+    /// A duplicated matrix axis entry (would collide job ids).
+    Duplicate,
+    /// A fault grid with an empty axis.
+    EmptyGrid,
+    /// A numeric knob outside its valid range.
+    OutOfRange,
+    /// A combination of valid values that cannot run together.
+    Conflict,
+    /// Anything else (legacy free-form messages).
+    Other,
+}
+
+impl ManifestErrorKind {
+    /// Short tag rendered in the error message.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ManifestErrorKind::Syntax => "syntax",
+            ManifestErrorKind::UnknownKey => "unknown-key",
+            ManifestErrorKind::MissingKey => "missing-key",
+            ManifestErrorKind::BadValue => "bad-value",
+            ManifestErrorKind::UnknownName => "unknown-name",
+            ManifestErrorKind::Duplicate => "duplicate",
+            ManifestErrorKind::EmptyGrid => "empty-grid",
+            ManifestErrorKind::OutOfRange => "out-of-range",
+            ManifestErrorKind::Conflict => "conflict",
+            ManifestErrorKind::Other => "invalid",
+        }
+    }
+}
+
+/// A structured manifest validation failure: what kind, what happened,
+/// and — when the validator can find it — the offending manifest line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestIssue {
+    /// Problem class.
+    pub kind: ManifestErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// `(1-based line number, trimmed line text)` in the manifest source.
+    pub line: Option<(usize, String)>,
+}
+
+impl ManifestIssue {
+    /// A free-form issue with no located line.
+    pub fn other(message: impl Into<String>) -> Self {
+        ManifestIssue {
+            kind: ManifestErrorKind::Other,
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// A typed issue with no located line (yet).
+    pub fn new(kind: ManifestErrorKind, message: impl Into<String>) -> Self {
+        ManifestIssue {
+            kind,
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Attaches the first manifest line containing `needle` (no-op when
+    /// a line is already attached or nothing matches).
+    pub fn locate(mut self, src: &str, needle: &str) -> Self {
+        if self.line.is_none() {
+            self.line = src
+                .lines()
+                .enumerate()
+                .find(|(_, l)| l.contains(needle))
+                .map(|(i, l)| (i + 1, l.trim().to_string()));
+        }
+        self
+    }
+}
+
+impl fmt::Display for ManifestIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest error [{}]: {}", self.kind.tag(), self.message)?;
+        if let Some((lineno, text)) = &self.line {
+            write!(f, "\n  --> line {lineno}: `{text}`")?;
+        }
+        Ok(())
+    }
+}
+
 /// Anything that can abort a campaign run.
 #[derive(Debug)]
 pub enum CliError {
     /// The manifest is syntactically or semantically invalid.
-    Manifest(String),
+    Manifest(ManifestIssue),
     /// A filesystem operation failed.
     Io {
         /// What the CLI was doing.
@@ -20,6 +120,9 @@ pub enum CliError {
     },
     /// A checkpoint or metadata file is corrupt beyond salvage.
     Checkpoint(String),
+    /// The shard protocol cannot proceed (bad plan, incomplete campaign,
+    /// quarantined units).
+    Shard(String),
     /// Circuit execution failed mid-campaign.
     Exec(ExecError),
     /// Command-line usage error.
@@ -27,14 +130,33 @@ pub enum CliError {
 }
 
 impl CliError {
-    /// A manifest-level failure.
+    /// A manifest-level failure (free-form; see [`CliError::manifest_issue`]
+    /// for typed/located failures).
     pub fn manifest(msg: impl Into<String>) -> Self {
-        CliError::Manifest(msg.into())
+        CliError::Manifest(ManifestIssue::other(msg))
+    }
+
+    /// A structured manifest failure.
+    pub fn manifest_issue(issue: ManifestIssue) -> Self {
+        CliError::Manifest(issue)
+    }
+
+    /// The manifest issue, when this is a manifest error.
+    pub fn as_manifest_issue(&self) -> Option<&ManifestIssue> {
+        match self {
+            CliError::Manifest(issue) => Some(issue),
+            _ => None,
+        }
     }
 
     /// A checkpoint-level failure.
     pub fn checkpoint(msg: impl Into<String>) -> Self {
         CliError::Checkpoint(msg.into())
+    }
+
+    /// A shard-protocol failure.
+    pub fn shard(msg: impl Into<String>) -> Self {
+        CliError::Shard(msg.into())
     }
 
     /// A usage failure (prints with the subcommand help).
@@ -54,18 +176,25 @@ impl CliError {
             source,
         }
     }
+
+    /// Whether this failure is plausibly transient (worth a retry on the
+    /// shard worker's backoff schedule) rather than deterministic.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CliError::Io { .. })
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Manifest(msg) => write!(f, "manifest error: {msg}"),
+            CliError::Manifest(issue) => issue.fmt(f),
             CliError::Io {
                 context,
                 path,
                 source,
             } => write!(f, "{context} {}: {source}", path.display()),
             CliError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            CliError::Shard(msg) => write!(f, "shard error: {msg}"),
             CliError::Exec(e) => write!(f, "execution error: {e}"),
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
         }

@@ -149,9 +149,13 @@ pub fn export_artifacts(manifest: &Manifest, out_dir: &Path) -> Result<ExportRep
 }
 
 fn write(files: &mut Vec<PathBuf>, path: PathBuf, contents: String) -> Result<(), CliError> {
+    crate::chaos::kill_point("export.write");
     qufi_obs::add("export.files", 1);
     qufi_obs::add("export.bytes", contents.len() as u64);
-    fs::write(&path, contents).map_err(|e| CliError::io("writing artifact", &path, e))?;
+    // Atomic per artifact: a crash mid-export leaves each file either
+    // old or new, never torn — and a re-export repairs the tree, since
+    // everything derives from checkpoints.
+    crate::atomic_write(&path, contents.as_bytes(), "writing artifact")?;
     files.push(path);
     Ok(())
 }

@@ -1,0 +1,384 @@
+//! Crash-safe work leases: how sharded-campaign workers claim units,
+//! prove liveness, and steal from the dead.
+//!
+//! A lease is a file under `<campaign>/units/` (`<unit>.lease`). The
+//! protocol leans on two POSIX atomicities and one system-level safety
+//! net:
+//!
+//! * **Claim** = `O_CREAT|O_EXCL` — exactly one creator wins.
+//! * **Takeover** of a stale lease = `rename` it to a per-worker tomb
+//!   first. A file can be renamed away only once, so of all workers
+//!   that saw the same stale lease, exactly one proceeds to re-claim;
+//!   the rest observe `ENOENT` and back off.
+//! * **Safety net** — unit execution is deterministic and the merge
+//!   layer deduplicates records by (point, θ, φ), so even if a claim
+//!   race ever produced two owners (e.g. a worker that stalls longer
+//!   than its lease and later resumes writing), the campaign's merged
+//!   bytes are unaffected; only wall-clock is wasted. Leases are an
+//!   *efficiency* mechanism; correctness never rests on them.
+//!
+//! Liveness is the lease file's mtime: owners refresh it on a heartbeat
+//! (content rewrite in place), and anyone finding an mtime older than
+//! the configured timeout may take over. Wall-clock time steers
+//! scheduling only — it never reaches a record, so results stay
+//! byte-deterministic.
+//!
+//! Transient filesystem failures during claim/refresh retry on a
+//! [`Backoff`] schedule that is *derived*, not sampled: delays come from
+//! the attempt number and a [`SeedHasher`] jitter keyed on (worker,
+//! unit, attempt), so a given worker replays the identical schedule
+//! every run — no wall-clock RNG anywhere in the protocol.
+//!
+//! [`SeedHasher`]: qufi_core::engine::SeedHasher
+
+use crate::chaos;
+use crate::error::CliError;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// Lease-protocol knobs.
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// This worker's name (lease contents, tomb suffixes, shard files).
+    pub worker: String,
+    /// A lease whose mtime is older than this is stale and may be
+    /// taken over.
+    pub timeout: Duration,
+}
+
+impl LeaseConfig {
+    /// Heartbeat cadence: refresh well inside the takeover window.
+    pub fn heartbeat_interval(&self) -> Duration {
+        (self.timeout / 4).max(Duration::from_millis(10))
+    }
+}
+
+/// Why a claim attempt did not produce a lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimMiss {
+    /// A live owner holds the lease.
+    Held,
+    /// The lease was stale but another worker won the takeover race.
+    LostTakeover,
+}
+
+/// What a claim attempt produced.
+pub enum Claim {
+    /// This worker now owns the unit.
+    Acquired(Lease),
+    /// No lease acquired; scheduling hint inside.
+    Miss(ClaimMiss),
+}
+
+/// An owned lease. Dropping it does **not** release (a crashed owner
+/// must look identical to a hung one); call [`Lease::release`].
+pub struct Lease {
+    path: PathBuf,
+    worker: String,
+    /// Whether this claim displaced a stale owner.
+    pub took_over: bool,
+}
+
+/// The lease path for a unit.
+pub fn lease_path(units_dir: &Path, unit_id: &str) -> PathBuf {
+    units_dir.join(format!("{unit_id}.lease"))
+}
+
+/// Attempts to claim `unit_id` for `cfg.worker`.
+///
+/// # Errors
+///
+/// Filesystem failures other than the expected claim races. (A chaos
+/// `claim.io` fail point surfaces here as a synthetic I/O error.)
+pub fn try_claim(units_dir: &Path, unit_id: &str, cfg: &LeaseConfig) -> Result<Claim, CliError> {
+    let path = lease_path(units_dir, unit_id);
+    if chaos::fail_point("claim.io") {
+        return Err(CliError::io(
+            "claiming unit lease",
+            &path,
+            chaos::synthetic_io_error("claim.io"),
+        ));
+    }
+    match create_lease(&path, &cfg.worker) {
+        Ok(()) => {
+            reap_tombs(units_dir, unit_id, cfg);
+            return Ok(Claim::Acquired(Lease {
+                path,
+                worker: cfg.worker.clone(),
+                took_over: false,
+            }));
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {}
+        Err(e) => return Err(CliError::io("creating unit lease", &path, e)),
+    }
+    // A lease exists. Stale? (An unreadable mtime counts as fresh — when
+    // in doubt, do not steal; expiry will make the call next round.)
+    let stale = match fs::metadata(&path).and_then(|m| m.modified()) {
+        Ok(mtime) => SystemTime::now()
+            .duration_since(mtime)
+            .map(|age| age >= cfg.timeout)
+            .unwrap_or(false),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // Released or torn down between our create and stat: treat as
+            // lost this round; the next scan will claim it cleanly.
+            return Ok(Claim::Miss(ClaimMiss::LostTakeover));
+        }
+        Err(_) => false,
+    };
+    if !stale {
+        return Ok(Claim::Miss(ClaimMiss::Held));
+    }
+    // Takeover: rename the stale lease to our tomb. Only one such rename
+    // can succeed, so the loser(s) of a simultaneous takeover see ENOENT.
+    let tomb = units_dir.join(format!("{unit_id}.tomb.{}", cfg.worker));
+    match fs::rename(&path, &tomb) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Claim::Miss(ClaimMiss::LostTakeover));
+        }
+        Err(e) => return Err(CliError::io("entombing stale lease", &path, e)),
+    }
+    let _ = fs::remove_file(&tomb);
+    match create_lease(&path, &cfg.worker) {
+        Ok(()) => {
+            qufi_obs::add("lease.takeovers", 1);
+            Ok(Claim::Acquired(Lease {
+                path,
+                worker: cfg.worker.clone(),
+                took_over: true,
+            }))
+        }
+        // Between our rename-away and re-create, a third worker claimed
+        // fresh. Fine: somebody owns it, and it is not us.
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            Ok(Claim::Miss(ClaimMiss::LostTakeover))
+        }
+        Err(e) => Err(CliError::io("re-creating lease after takeover", &path, e)),
+    }
+}
+
+fn create_lease(path: &Path, worker: &str) -> std::io::Result<()> {
+    let mut f = fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)?;
+    f.write_all(format!("worker = {worker}\n").as_bytes())
+}
+
+/// Best-effort cleanup of tombs left by takeover attempts that crashed
+/// between rename and re-create. Tombs block nothing (the claim path
+/// never reads them); this only keeps the directory tidy.
+fn reap_tombs(units_dir: &Path, unit_id: &str, cfg: &LeaseConfig) {
+    let Ok(entries) = fs::read_dir(units_dir) else {
+        return;
+    };
+    let prefix = format!("{unit_id}.tomb.");
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with(&prefix) {
+            continue;
+        }
+        let old = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+            .is_some_and(|age| age >= cfg.timeout);
+        if old {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+impl Lease {
+    /// Heartbeat: rewrite the lease in place so its mtime advances.
+    /// Rewriting (not rename) keeps the takeover rename race-free — the
+    /// inode under `<unit>.lease` changes only at claim boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (and the chaos `lease.refresh` fail point).
+    pub fn refresh(&self) -> Result<(), CliError> {
+        chaos::kill_point("lease.refresh");
+        if chaos::fail_point("lease.refresh") {
+            return Err(CliError::io(
+                "refreshing lease",
+                &self.path,
+                chaos::synthetic_io_error("lease.refresh"),
+            ));
+        }
+        fs::write(&self.path, format!("worker = {}\n", self.worker))
+            .map_err(|e| CliError::io("refreshing lease", &self.path, e))?;
+        qufi_obs::add("lease.refreshes", 1);
+        Ok(())
+    }
+
+    /// Whether this worker still holds the lease (a hung-then-resumed
+    /// owner checks before publishing, shrinking the double-owner window
+    /// to the takeover interval itself).
+    pub fn still_mine(&self) -> bool {
+        fs::read_to_string(&self.path)
+            .map(|text| text == format!("worker = {}\n", self.worker))
+            .unwrap_or(false)
+    }
+
+    /// Releases the unit (unlinks the lease).
+    pub fn release(self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Capped exponential backoff with a deterministic, derived jitter —
+/// the retry schedule for transient claim/refresh/write failures.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempts_left: u32,
+    attempt: u32,
+    seed: u64,
+}
+
+impl Backoff {
+    /// A schedule of `max_attempts` delays starting at `base`, doubling,
+    /// capped at `cap`, jittered by a hash of (`seed_key`, attempt).
+    pub fn new(base: Duration, cap: Duration, max_attempts: u32, seed_key: &str) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempts_left: max_attempts,
+            attempt: 0,
+            seed: qufi_core::engine::SeedHasher::new()
+                .mix_bytes(seed_key.as_bytes())
+                .finish(),
+        }
+    }
+
+    /// The next delay to sleep, or `None` when the budget is exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempts_left == 0 {
+            return None;
+        }
+        self.attempts_left -= 1;
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        // Jitter in [0, base): derived from the key and attempt number,
+        // so the schedule replays identically — never wall-clock RNG.
+        let jitter_ns = qufi_core::engine::SeedHasher::new()
+            .mix_u64(self.seed)
+            .mix_u64(self.attempt as u64)
+            .finish()
+            % self.base.as_nanos().max(1) as u64;
+        self.attempt += 1;
+        Some(exp + Duration::from_nanos(jitter_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_units(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qufi-lease-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg(worker: &str, timeout_ms: u64) -> LeaseConfig {
+        LeaseConfig {
+            worker: worker.to_string(),
+            timeout: Duration::from_millis(timeout_ms),
+        }
+    }
+
+    #[test]
+    fn second_claim_loses_then_release_frees() {
+        let dir = temp_units("claim");
+        let a = match try_claim(&dir, "u1", &cfg("a", 60_000)).unwrap() {
+            Claim::Acquired(l) => l,
+            Claim::Miss(_) => panic!("first claim must win"),
+        };
+        assert!(a.still_mine());
+        match try_claim(&dir, "u1", &cfg("b", 60_000)).unwrap() {
+            Claim::Miss(ClaimMiss::Held) => {}
+            _ => panic!("fresh lease must be held"),
+        }
+        a.release();
+        match try_claim(&dir, "u1", &cfg("b", 60_000)).unwrap() {
+            Claim::Acquired(b) => {
+                assert!(!b.took_over);
+                b.release();
+            }
+            Claim::Miss(_) => panic!("released lease must be claimable"),
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stale_leases_are_taken_over_exactly_once() {
+        let dir = temp_units("steal");
+        let dead = match try_claim(&dir, "u1", &cfg("dead", 30)).unwrap() {
+            Claim::Acquired(l) => l,
+            Claim::Miss(_) => panic!(),
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        // Two thieves race: exactly one wins the takeover.
+        let mut wins = 0;
+        for thief in ["t1", "t2"] {
+            if let Claim::Acquired(l) = try_claim(&dir, "u1", &cfg(thief, 30)).unwrap() {
+                assert!(l.took_over);
+                assert!(!dead.still_mine());
+                wins += 1;
+            }
+        }
+        assert_eq!(wins, 1, "a stale lease must be stolen exactly once");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn refresh_defers_takeover() {
+        let dir = temp_units("refresh");
+        let owner = match try_claim(&dir, "u1", &cfg("o", 80)).unwrap() {
+            Claim::Acquired(l) => l,
+            Claim::Miss(_) => panic!(),
+        };
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            owner.refresh().unwrap();
+            match try_claim(&dir, "u1", &cfg("thief", 80)).unwrap() {
+                Claim::Miss(ClaimMiss::Held) => {}
+                _ => panic!("refreshed lease stolen"),
+            }
+        }
+        owner.release();
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_finite() {
+        let schedule = |key: &str| -> Vec<Duration> {
+            let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(80), 5, key);
+            std::iter::from_fn(|| b.next_delay()).collect()
+        };
+        let a = schedule("w1/u1");
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, schedule("w1/u1"), "schedule must replay identically");
+        assert_ne!(a, schedule("w2/u1"), "jitter must differ per key");
+        for (i, d) in a.iter().enumerate() {
+            let exp = Duration::from_millis(10 * (1 << i)).min(Duration::from_millis(80));
+            assert!(
+                *d >= exp && *d < exp + Duration::from_millis(10),
+                "{i}: {d:?}"
+            );
+        }
+    }
+}

@@ -42,25 +42,46 @@
 //! std::fs::remove_dir_all(&out).unwrap();
 //! ```
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod error;
 pub mod export;
 pub mod job;
+pub mod lease;
 pub mod manifest;
 pub mod obs_artifacts;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 pub mod toml;
 
-pub use error::CliError;
+pub use error::{CliError, ManifestErrorKind, ManifestIssue};
 pub use export::{export_artifacts, ExportReport};
 pub use job::{job_matrix, JobSpec};
 pub use manifest::{ExecutorKind, GridSpec, Manifest};
 pub use runner::{dry_run_plan, run_campaign, JobOutcome, RunOptions, RunStatus, RunSummary};
+pub use shard::{merge_campaign, plan_campaign, work_campaign, MergeReport, WorkOptions};
 pub use stats::{render_runs, render_stats};
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// Writes a file durably-by-construction: the contents land in a
+/// sibling temp file which is renamed over the target, so readers (and
+/// crash survivors) only ever observe the old bytes or the new bytes —
+/// never a torn mixture. Every artifact the CLI publishes (exports,
+/// manifests, telemetry, shard plans) goes through here.
+///
+/// # Errors
+///
+/// Filesystem failures (reported with `context`).
+pub fn atomic_write(path: &Path, contents: &[u8], context: &str) -> Result<(), CliError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents).map_err(|e| CliError::io(context, &tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| CliError::io(context, path, e))
+}
 
 /// The manifest copy stored inside every campaign directory.
 pub const STORED_MANIFEST: &str = "manifest.toml";
@@ -95,7 +116,7 @@ pub fn store_or_check_manifest(manifest: &Manifest, out_dir: &Path) -> Result<()
             path.display(),
         ))),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            fs::write(&path, canonical).map_err(|e| CliError::io("storing manifest", &path, e))
+            atomic_write(&path, canonical.as_bytes(), "storing manifest")
         }
         Err(e) => Err(CliError::io("reading stored manifest", &path, e)),
     }

@@ -8,17 +8,23 @@
 //! qufi export <campaign-dir>
 //! qufi stats <campaign-dir> [--top N]
 //! qufi list {workloads|backends|grids|runs [DIR]}
+//! qufi shard plan <manifest.toml> [--out DIR] [--shards N] [--costs FILE]
+//! qufi shard work <campaign-dir> --worker NAME [--shard K]
+//!                 [--lease-timeout-ms N] [--threads N]
+//! qufi shard merge <campaign-dir>
 //! ```
 //!
 //! Exit codes: `0` success / campaign complete, `2` budget expired
 //! (resume to continue), `1` any error.
 
 use qufi_cli::{
-    default_out_dir, dry_run_plan, export_artifacts, load_stored_manifest, render_runs,
-    render_stats, resume, run_to_completion, CliError, GridSpec, Manifest, RunOptions, RunStatus,
+    default_out_dir, dry_run_plan, export_artifacts, load_stored_manifest, merge_campaign,
+    plan_campaign, render_runs, render_stats, resume, run_to_completion, work_campaign, CliError,
+    GridSpec, Manifest, RunOptions, RunStatus, WorkOptions,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 qufi — QuFI campaign orchestration
@@ -31,6 +37,10 @@ USAGE:
     qufi export <campaign-dir>
     qufi stats <campaign-dir> [--top N]
     qufi list {workloads|backends|grids|runs [DIR]}
+    qufi shard plan <manifest.toml> [--out DIR] [--shards N] [--costs FILE]
+    qufi shard work <campaign-dir> --worker NAME [--shard K]
+                    [--lease-timeout-ms N] [--threads N]
+    qufi shard merge <campaign-dir>
 
 COMMANDS:
     run      Execute a campaign manifest; checkpoints land in the output
@@ -42,6 +52,12 @@ COMMANDS:
              from a run's telemetry artifacts.
     list     Show the registered workloads, backends, grid presets — or
              per-job progress of the runs under DIR (default: qufi-runs).
+    shard    Crash-safe multi-worker campaigns: `plan` partitions the
+             job × point matrix into cost-weighted work units, any number
+             of `work` processes execute them under expiring leases
+             (SIGKILL-safe; stale units are taken over), and `merge`
+             folds the per-unit files into checkpoints + results that
+             are byte-identical to a single-node run.
 
 OPTIONS:
     --out DIR      Output directory (default: qufi-runs/<campaign name>)
@@ -54,6 +70,16 @@ OPTIONS:
     --top N        (stats only) Slowest points to show (default: 10)
     --dry-run      (run only) Print the resolved job × point × config task
                    matrix and thread split without executing anything
+    --shards N     (shard plan) Number of shards to partition into (default: 2)
+    --costs FILE   (shard plan) Cost profile to allocate by (default:
+                   <out>/costs.csv when present, else grid-cell weights)
+    --worker NAME  (shard work) Unique name for this worker process
+    --shard K      (shard work) Home shard (default: derived from NAME)
+    --lease-timeout-ms N
+                   (shard work) Stale-lease takeover threshold (default: 5000)
+
+Set QUFI_FSYNC=1 to fsync every checkpoint append (durability against
+power loss, not just process death).
 
 Telemetry never changes campaign results: everything under results/ is
 byte-identical with metrics on or off, at any thread count.
@@ -81,6 +107,7 @@ fn dispatch(args: Vec<String>) -> Result<ExitCode, CliError> {
         "export" => cmd_export(args.collect()),
         "stats" => cmd_stats(args.collect()),
         "list" => cmd_list(args.collect()),
+        "shard" => cmd_shard(args.collect()),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -97,6 +124,11 @@ struct CommonFlags {
     verbose: bool,
     no_metrics: bool,
     top: Option<usize>,
+    shards: Option<usize>,
+    costs: Option<PathBuf>,
+    worker: Option<String>,
+    shard: Option<usize>,
+    lease_timeout_ms: Option<u64>,
 }
 
 fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
@@ -108,6 +140,11 @@ fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
         verbose: false,
         no_metrics: false,
         top: None,
+        shards: None,
+        costs: None,
+        worker: None,
+        shard: None,
+        lease_timeout_ms: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -125,6 +162,14 @@ fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
             "--no-metrics" => flags.no_metrics = true,
             "--trace" => flags.opts.trace = true,
             "--top" => flags.top = Some(parse_number(&take_value(&mut iter, "--top")?)?),
+            "--shards" => flags.shards = Some(parse_number(&take_value(&mut iter, "--shards")?)?),
+            "--costs" => flags.costs = Some(PathBuf::from(take_value(&mut iter, "--costs")?)),
+            "--worker" => flags.worker = Some(take_value(&mut iter, "--worker")?),
+            "--shard" => flags.shard = Some(parse_number(&take_value(&mut iter, "--shard")?)?),
+            "--lease-timeout-ms" => {
+                flags.lease_timeout_ms =
+                    Some(parse_number(&take_value(&mut iter, "--lease-timeout-ms")?)? as u64)
+            }
             a if a.starts_with("--") => return Err(CliError::usage(format!("unknown flag {a:?}"))),
             _ => flags.positional.push(arg),
         }
@@ -324,4 +369,84 @@ fn cmd_list(args: Vec<String>) -> Result<ExitCode, CliError> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_shard(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let flags = parse_flags(args)?;
+    reject_dry_run(&flags)?;
+    let [sub, target] = &flags.positional[..] else {
+        return Err(CliError::usage(
+            "shard takes a subcommand and a path: \
+             shard {plan <manifest.toml> | work <campaign-dir> | merge <campaign-dir>}",
+        ));
+    };
+    match sub.as_str() {
+        "plan" => {
+            let text = std::fs::read_to_string(target)
+                .map_err(|e| CliError::io("reading manifest", target, e))?;
+            let manifest = Manifest::from_toml(&text)?;
+            let out_dir = flags.out.unwrap_or_else(|| default_out_dir(&manifest));
+            let report = plan_campaign(
+                &manifest,
+                &out_dir,
+                flags.shards.unwrap_or(2),
+                flags.costs.as_deref(),
+            )?;
+            print!("{}", report.summary);
+            println!(
+                "plan written to {}; start workers with: \
+                 qufi shard work {} --worker <name>",
+                out_dir.join("shard-plan.json").display(),
+                out_dir.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "work" => {
+            let worker = flags.worker.clone().ok_or_else(|| {
+                CliError::usage("shard work needs --worker NAME (unique per process)")
+            })?;
+            if worker.is_empty()
+                || !worker
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_'))
+            {
+                return Err(CliError::usage(
+                    "--worker must be non-empty and [A-Za-z0-9_-] only (it becomes a file suffix)",
+                ));
+            }
+            let opts = WorkOptions {
+                worker,
+                shard: flags.shard,
+                lease_timeout: Duration::from_millis(flags.lease_timeout_ms.unwrap_or(5000)),
+                grid_threads: flags.opts.threads.unwrap_or(1),
+                quiet: flags.opts.quiet,
+            };
+            let report = work_campaign(Path::new(target), &opts)?;
+            println!(
+                "worker {}: {} unit(s) done ({} stolen), {} poisoned",
+                opts.worker, report.units_done, report.units_stolen, report.units_poisoned
+            );
+            Ok(if report.units_poisoned == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            })
+        }
+        "merge" => {
+            let report = merge_campaign(Path::new(target))?;
+            if !flags.opts.quiet {
+                print!("{}", report.export.summary_table);
+            }
+            println!(
+                "merged {} unit(s); {} artifact file(s) under {}",
+                report.units_merged,
+                report.export.files.len(),
+                Path::new(target).join("results").display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(CliError::usage(format!(
+            "unknown shard subcommand {other:?}; try plan, work, or merge"
+        ))),
+    }
 }

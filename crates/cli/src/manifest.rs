@@ -20,10 +20,25 @@
 //! # phis = [0.0]
 //! ```
 
-use crate::error::CliError;
+use crate::error::{CliError, ManifestErrorKind, ManifestIssue};
 use crate::toml::{self, Document, Table, Value};
 use qufi_core::fault::FaultGrid;
 use std::fmt::Write as _;
+
+/// A typed, line-located manifest error: the issue plus the first
+/// manifest line mentioning `needle` (quoted in the rendered message).
+fn located(src: &str, kind: ManifestErrorKind, needle: &str, msg: impl Into<String>) -> CliError {
+    CliError::manifest_issue(ManifestIssue::new(kind, msg).locate(src, needle))
+}
+
+/// Attaches a source line to an already-typed error bubbling up from a
+/// helper that had no access to the manifest text.
+fn locate_issue(err: CliError, src: &str, needle: &str) -> CliError {
+    match err {
+        CliError::Manifest(issue) => CliError::Manifest(issue.locate(src, needle)),
+        other => other,
+    }
+}
 
 /// Which §IV-B execution scenario a campaign runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,8 +66,9 @@ impl ExecutorKind {
             "ideal" => Ok(ExecutorKind::Ideal),
             "noisy" => Ok(ExecutorKind::Noisy),
             "hardware" => Ok(ExecutorKind::Hardware),
-            other => Err(CliError::manifest(format!(
-                "executor must be ideal|noisy|hardware, got {other:?}"
+            other => Err(CliError::manifest_issue(ManifestIssue::new(
+                ManifestErrorKind::UnknownName,
+                format!("executor must be ideal|noisy|hardware, got {other:?}"),
             ))),
         }
     }
@@ -88,16 +104,22 @@ impl GridSpec {
                 "paper-half-phi" => FaultGrid::paper_half_phi(),
                 "coarse" => FaultGrid::coarse(),
                 other => {
-                    return Err(CliError::manifest(format!(
-                        "grid preset must be one of {:?}, got {other:?}",
-                        Self::PRESETS
+                    return Err(CliError::manifest_issue(ManifestIssue::new(
+                        ManifestErrorKind::UnknownName,
+                        format!(
+                            "grid preset must be one of {:?}, got {other:?}",
+                            Self::PRESETS
+                        ),
                     )))
                 }
             },
             GridSpec::Custom { thetas, phis } => FaultGrid::custom(thetas.clone(), phis.clone()),
         };
         if grid.is_empty() {
-            return Err(CliError::manifest("fault grid has an empty axis"));
+            return Err(CliError::manifest_issue(ManifestIssue::new(
+                ManifestErrorKind::EmptyGrid,
+                "fault grid has an empty axis",
+            )));
         }
         Ok(grid)
     }
@@ -129,35 +151,59 @@ pub struct Manifest {
 }
 
 impl Manifest {
-    /// Parses and validates manifest text.
+    /// Parses and validates manifest text. Every rejection is a typed
+    /// [`ManifestIssue`] quoting the offending manifest line when the
+    /// validator can find one.
     ///
     /// # Errors
     ///
     /// Syntax errors, unknown keys/names, and semantically-invalid
     /// combinations (e.g. a workload wider than a backend).
     pub fn from_toml(text: &str) -> Result<Self, CliError> {
-        let doc = toml::parse(text).map_err(|e| CliError::manifest(e.to_string()))?;
-        Self::from_document(&doc)
+        let doc = toml::parse(text).map_err(|e| {
+            let line = text
+                .lines()
+                .nth(e.line.saturating_sub(1))
+                .map(|l| (e.line, l.trim().to_string()));
+            CliError::manifest_issue(ManifestIssue {
+                kind: ManifestErrorKind::Syntax,
+                message: e.reason,
+                line,
+            })
+        })?;
+        Self::from_document(&doc, text)
     }
 
-    fn from_document(doc: &Document) -> Result<Self, CliError> {
+    fn from_document(doc: &Document, src: &str) -> Result<Self, CliError> {
+        use ManifestErrorKind as K;
         for section in doc.keys() {
             if !section.is_empty() && section != "campaign" && section != "grid" {
-                return Err(CliError::manifest(format!(
-                    "unknown section [{section}] (expected [campaign] and optional [grid])"
-                )));
+                return Err(located(
+                    src,
+                    K::UnknownKey,
+                    &format!("[{section}]"),
+                    format!(
+                        "unknown section [{section}] (expected [campaign] and optional [grid])"
+                    ),
+                ));
             }
         }
         if let Some(root) = doc.get("") {
             if let Some(key) = root.keys().next() {
-                return Err(CliError::manifest(format!(
-                    "key {key:?} outside any section; move it under [campaign]"
-                )));
+                return Err(located(
+                    src,
+                    K::UnknownKey,
+                    key,
+                    format!("key {key:?} outside any section; move it under [campaign]"),
+                ));
             }
         }
-        let campaign = doc
-            .get("campaign")
-            .ok_or_else(|| CliError::manifest("missing [campaign] section"))?;
+        let campaign = doc.get("campaign").ok_or_else(|| {
+            CliError::manifest_issue(ManifestIssue::new(
+                K::MissingKey,
+                "missing [campaign] section",
+            ))
+        })?;
         for key in campaign.keys() {
             const KNOWN: &[&str] = &[
                 "name",
@@ -171,9 +217,12 @@ impl Manifest {
                 "noise_scales",
             ];
             if !KNOWN.contains(&key.as_str()) {
-                return Err(CliError::manifest(format!(
-                    "unknown [campaign] key {key:?} (known: {KNOWN:?})"
-                )));
+                return Err(located(
+                    src,
+                    K::UnknownKey,
+                    key,
+                    format!("unknown [campaign] key {key:?} (known: {KNOWN:?})"),
+                ));
             }
         }
 
@@ -187,56 +236,92 @@ impl Manifest {
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
         {
-            return Err(CliError::manifest(format!(
-                "campaign.name {name:?} must be non-empty and [A-Za-z0-9._-] only \
-                 (it becomes a directory name)"
-            )));
+            return Err(located(
+                src,
+                K::BadValue,
+                "name",
+                format!(
+                    "campaign.name {name:?} must be non-empty and [A-Za-z0-9._-] only \
+                     (it becomes a directory name)"
+                ),
+            ));
         }
 
         let seed = opt_u64(campaign, "seed")?.unwrap_or(42);
         let threads = opt_u64(campaign, "threads")?.unwrap_or(0) as usize;
         let executor = match campaign.get("executor") {
-            Some(v) => ExecutorKind::parse(require_str(v, "campaign.executor")?)?,
+            Some(v) => ExecutorKind::parse(require_str(v, "campaign.executor")?)
+                .map_err(|e| locate_issue(e, src, "executor"))?,
             None => ExecutorKind::Noisy,
         };
         let shots = opt_u64(campaign, "shots")?.unwrap_or(1024);
         if shots == 0 {
-            return Err(CliError::manifest("campaign.shots must be positive"));
+            return Err(located(
+                src,
+                K::OutOfRange,
+                "shots",
+                "campaign.shots must be positive",
+            ));
         }
         let drift = opt_f64(campaign, "drift")?.unwrap_or(0.05);
         if !(0.0..=1.0).contains(&drift) {
-            return Err(CliError::manifest("campaign.drift must be in [0, 1]"));
+            return Err(located(
+                src,
+                K::OutOfRange,
+                "drift",
+                "campaign.drift must be in [0, 1]",
+            ));
         }
 
-        let workloads = str_array(campaign, "workloads")?
-            .ok_or_else(|| CliError::manifest("campaign.workloads is required"))?;
+        let workloads = str_array(campaign, "workloads")?.ok_or_else(|| {
+            CliError::manifest_issue(ManifestIssue::new(
+                K::MissingKey,
+                "campaign.workloads is required",
+            ))
+        })?;
         if workloads.is_empty() {
-            return Err(CliError::manifest("campaign.workloads must not be empty"));
+            return Err(located(
+                src,
+                K::BadValue,
+                "workloads",
+                "campaign.workloads must not be empty",
+            ));
         }
         let backends = str_array(campaign, "backends")?.unwrap_or_default();
         if backends.is_empty() && executor != ExecutorKind::Ideal {
-            return Err(CliError::manifest(format!(
-                "campaign.backends is required for the {} executor",
-                executor.keyword()
-            )));
+            return Err(located(
+                src,
+                K::MissingKey,
+                "executor",
+                format!(
+                    "campaign.backends is required for the {} executor",
+                    executor.keyword()
+                ),
+            ));
         }
         let noise_scales = f64_array(campaign, "noise_scales")?.unwrap_or_else(|| vec![1.0]);
         if noise_scales.is_empty() {
-            return Err(CliError::manifest(
+            return Err(located(
+                src,
+                K::BadValue,
+                "noise_scales",
                 "campaign.noise_scales must not be empty",
             ));
         }
         for &s in &noise_scales {
             if !(s.is_finite() && s >= 0.0) {
-                return Err(CliError::manifest(format!(
-                    "noise scale {s} must be finite and non-negative"
-                )));
+                return Err(located(
+                    src,
+                    K::OutOfRange,
+                    "noise_scales",
+                    format!("noise scale {s} must be finite and non-negative"),
+                ));
             }
         }
 
         let grid = match doc.get("grid") {
             None => GridSpec::Preset("paper".to_string()),
-            Some(table) => parse_grid(table)?,
+            Some(table) => parse_grid(table, src)?,
         };
 
         let manifest = Manifest {
@@ -251,38 +336,56 @@ impl Manifest {
             noise_scales,
             grid,
         };
-        manifest.validate()?;
+        manifest.validate(src)?;
         Ok(manifest)
     }
 
     /// Cross-checks names against the registries and widths against the
-    /// devices.
-    fn validate(&self) -> Result<(), CliError> {
-        self.grid.to_grid()?;
+    /// devices, quoting the manifest line that introduced the offender.
+    fn validate(&self, src: &str) -> Result<(), CliError> {
+        use ManifestErrorKind as K;
+        self.grid
+            .to_grid()
+            .map_err(|e| locate_issue(e, src, "[grid]"))?;
         // Duplicate matrix axes would yield two jobs with the same id
         // appending to the same checkpoint file concurrently.
         let mut seen = std::collections::HashSet::new();
         for w in &self.workloads {
             if !seen.insert(w.as_str()) {
-                return Err(CliError::manifest(format!("duplicate workload {w:?}")));
+                return Err(located(
+                    src,
+                    K::Duplicate,
+                    &format!("\"{w}\""),
+                    format!("duplicate workload {w:?}"),
+                ));
             }
         }
         seen.clear();
         for b in &self.backends {
             if !seen.insert(b.as_str()) {
-                return Err(CliError::manifest(format!("duplicate backend {b:?}")));
+                return Err(located(
+                    src,
+                    K::Duplicate,
+                    &format!("\"{b}\""),
+                    format!("duplicate backend {b:?}"),
+                ));
             }
         }
         let mut seen_scales = std::collections::HashSet::new();
         for &s in &self.noise_scales {
             if !seen_scales.insert(s.to_bits()) {
-                return Err(CliError::manifest(format!("duplicate noise scale {s}")));
+                return Err(located(
+                    src,
+                    K::Duplicate,
+                    "noise_scales",
+                    format!("duplicate noise scale {s}"),
+                ));
             }
         }
         let mut widths = Vec::new();
         for w in &self.workloads {
             let (_, n) = qufi_algos::parse_workload_name(w)
-                .map_err(|e| CliError::manifest(e.to_string()))?;
+                .map_err(|e| located(src, K::UnknownName, &format!("\"{w}\""), e.to_string()))?;
             widths.push((w.clone(), n));
         }
         if self.executor == ExecutorKind::Ideal {
@@ -290,17 +393,27 @@ impl Manifest {
         }
         for b in &self.backends {
             let cal = qufi_noise::BackendCalibration::named(b).ok_or_else(|| {
-                CliError::manifest(format!(
-                    "unknown backend {b:?} (known: {:?})",
-                    qufi_noise::BackendCalibration::builtin_names()
-                ))
+                located(
+                    src,
+                    K::UnknownName,
+                    &format!("\"{b}\""),
+                    format!(
+                        "unknown backend {b:?} (known: {:?})",
+                        qufi_noise::BackendCalibration::builtin_names()
+                    ),
+                )
             })?;
             for (w, n) in &widths {
                 if *n > cal.num_qubits() {
-                    return Err(CliError::manifest(format!(
-                        "workload {w} needs {n} qubits but backend {b} has {}",
-                        cal.num_qubits()
-                    )));
+                    return Err(located(
+                        src,
+                        K::Conflict,
+                        &format!("\"{w}\""),
+                        format!(
+                            "workload {w} needs {n} qubits but backend {b} has {}",
+                            cal.num_qubits()
+                        ),
+                    ));
                 }
             }
         }
@@ -347,12 +460,15 @@ impl Manifest {
     }
 }
 
-fn parse_grid(table: &Table) -> Result<GridSpec, CliError> {
+fn parse_grid(table: &Table, src: &str) -> Result<GridSpec, CliError> {
     for key in table.keys() {
         if !matches!(key.as_str(), "preset" | "thetas" | "phis") {
-            return Err(CliError::manifest(format!(
-                "unknown [grid] key {key:?} (known: preset, thetas, phis)"
-            )));
+            return Err(located(
+                src,
+                ManifestErrorKind::UnknownKey,
+                key,
+                format!("unknown [grid] key {key:?} (known: preset, thetas, phis)"),
+            ));
         }
     }
     match (table.get("preset"), table.get("thetas"), table.get("phis")) {
@@ -361,7 +477,10 @@ fn parse_grid(table: &Table) -> Result<GridSpec, CliError> {
             thetas: f64_array(table, "thetas")?.expect("present"),
             phis: f64_array(table, "phis")?.expect("present"),
         }),
-        _ => Err(CliError::manifest(
+        _ => Err(located(
+            src,
+            ManifestErrorKind::Conflict,
+            "[grid]",
             "[grid] needs either `preset = \"…\"` or both `thetas` and `phis`",
         )),
     }
@@ -518,6 +637,51 @@ preset = "coarse"
             err("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"jakarta\"]\ntypo = 1\n")
                 .contains("unknown [campaign] key")
         );
+    }
+
+    #[test]
+    fn errors_are_typed_and_quote_the_offending_line() {
+        let issue_of = |text: &str| {
+            let err = Manifest::from_toml(text).unwrap_err();
+            err.as_manifest_issue().cloned().unwrap_or_else(|| {
+                panic!("expected a manifest issue, got {err}");
+            })
+        };
+
+        let dup =
+            issue_of("[campaign]\nworkloads = [\"bv-4\", \"bv-4\"]\nbackends = [\"jakarta\"]\n");
+        assert_eq!(dup.kind, ManifestErrorKind::Duplicate);
+        let (lineno, text) = dup.line.expect("located line");
+        assert_eq!(lineno, 2);
+        assert!(text.contains("bv-4"));
+
+        let unknown = issue_of("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"quito\"]\n");
+        assert_eq!(unknown.kind, ManifestErrorKind::UnknownName);
+        assert_eq!(unknown.line.expect("located line").0, 3);
+
+        let shots =
+            issue_of("[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"lima\"]\nshots = 0\n");
+        assert_eq!(shots.kind, ManifestErrorKind::OutOfRange);
+        assert_eq!(shots.line.expect("located line").0, 4);
+
+        let syntax = issue_of("[campaign]\nworkloads = not-an-array\n");
+        assert_eq!(syntax.kind, ManifestErrorKind::Syntax);
+        assert_eq!(syntax.line.expect("located line").0, 2);
+
+        let empty = issue_of(
+            "[campaign]\nexecutor = \"ideal\"\nworkloads = [\"bv-4\"]\n\
+             [grid]\nthetas = []\nphis = [0.0]\n",
+        );
+        assert_eq!(empty.kind, ManifestErrorKind::EmptyGrid);
+
+        // The rendered message carries both the tag and the quoted line.
+        let rendered = Manifest::from_toml(
+            "[campaign]\nworkloads = [\"bv-4\"]\nbackends = [\"lima\", \"lima\"]\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(rendered.contains("[duplicate]"), "{rendered}");
+        assert!(rendered.contains("--> line 3"), "{rendered}");
     }
 
     #[test]

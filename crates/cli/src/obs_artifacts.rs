@@ -29,18 +29,23 @@ pub fn write_artifacts(out_dir: &Path, with_trace: bool) -> Result<Vec<PathBuf>,
     let snap = qufi_obs::snapshot();
     let mut written = Vec::new();
     let metrics_path = out_dir.join(METRICS_FILE);
-    fs::write(&metrics_path, snap.to_json())
-        .map_err(|e| CliError::io("writing metrics", &metrics_path, e))?;
+    crate::atomic_write(&metrics_path, snap.to_json().as_bytes(), "writing metrics")?;
     written.push(metrics_path);
     let costs_path = out_dir.join(COSTS_FILE);
-    fs::write(&costs_path, snap.costs_csv())
-        .map_err(|e| CliError::io("writing cost profile", &costs_path, e))?;
+    crate::atomic_write(
+        &costs_path,
+        snap.costs_csv().as_bytes(),
+        "writing cost profile",
+    )?;
     written.push(costs_path);
     if with_trace {
         let trace_path = out_dir.join(TRACE_FILE);
         let events = qufi_obs::take_trace();
-        fs::write(&trace_path, qufi_obs::trace::to_jsonl(&events))
-            .map_err(|e| CliError::io("writing trace", &trace_path, e))?;
+        crate::atomic_write(
+            &trace_path,
+            qufi_obs::trace::to_jsonl(&events).as_bytes(),
+            "writing trace",
+        )?;
         written.push(trace_path);
     }
     Ok(written)

@@ -1,0 +1,215 @@
+//! Shard invariance: a campaign executed as N sharded workers — any
+//! shard count, any worker count, workers racing concurrently, any
+//! per-worker grid-thread budget — must merge into a results tree
+//! byte-identical to the single-node `qufi run` export.
+//!
+//! This extends `thread_invariance` across the process boundary the
+//! shard engine introduces: unit partitioning (LPT over costs), lease
+//! claiming order, work stealing, and duplicate executions from lease
+//! takeovers must all cancel out in `merge_records` canonicalization.
+
+use qufi_cli::shard::{self, WorkOptions};
+use qufi_cli::{run_to_completion, Manifest, RunOptions, RunStatus};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Two jobs so the merge covers a multi-job matrix; noisy (exact) and
+/// hardware (finite-shot sampling) variants, as in `thread_invariance`.
+const NOISY: &str = r#"
+[campaign]
+name = "shards-noisy"
+executor = "noisy"
+workloads = ["bv-3", "ghz-3"]
+backends = ["jakarta"]
+
+[grid]
+thetas = [0.0, 1.5707963267948966, 3.141592653589793]
+phis = [0.0, 3.141592653589793]
+"#;
+
+const HARDWARE: &str = r#"
+[campaign]
+name = "shards-hardware"
+seed = 23
+shots = 256
+executor = "hardware"
+workloads = ["bv-3"]
+backends = ["lima"]
+
+[grid]
+thetas = [0.0, 3.141592653589793]
+phis = [0.0, 3.141592653589793]
+"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qufi-shardinv-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every file under `root`, keyed by relative path.
+fn tree(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(root, root, &mut out);
+    out
+}
+
+fn single_node(manifest: &Manifest, tag: &str) -> BTreeMap<String, Vec<u8>> {
+    let dir = temp_dir(&format!("{tag}-single"));
+    let outcome = run_to_completion(
+        manifest,
+        &dir,
+        &RunOptions {
+            threads: Some(1),
+            quiet: true,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.summary.status, RunStatus::Complete);
+    let artifacts = tree(&dir.join("results"));
+    let _ = fs::remove_dir_all(dir);
+    artifacts
+}
+
+/// Plans `shards` shards, runs `workers` concurrent workers (each with a
+/// different grid-thread budget), merges, and returns the results tree.
+fn sharded(
+    manifest: &Manifest,
+    tag: &str,
+    shards: usize,
+    workers: usize,
+) -> BTreeMap<String, Vec<u8>> {
+    let dir = temp_dir(&format!("{tag}-s{shards}-w{workers}"));
+    let report = shard::plan_campaign(manifest, &dir, shards, None).unwrap();
+    assert_eq!(report.plan.shards, shards);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let dir = &dir;
+            scope.spawn(move || {
+                let opts = WorkOptions {
+                    worker: format!("w{w}"),
+                    // Pin half the workers to a home shard, let the rest
+                    // hash-pick and steal across shards.
+                    shard: (w % 2 == 0).then_some(w % shards),
+                    lease_timeout: Duration::from_millis(2000),
+                    grid_threads: w + 1,
+                    quiet: true,
+                };
+                let report = shard::work_campaign(dir, &opts).unwrap();
+                assert_eq!(report.units_poisoned, 0, "worker w{w} poisoned units");
+            });
+        }
+    });
+
+    let merged = shard::merge_campaign(&dir).unwrap();
+    assert_eq!(
+        merged.units_merged,
+        report.plan.units.len(),
+        "merge must cover every planned unit"
+    );
+    let artifacts = tree(&dir.join("results"));
+    let _ = fs::remove_dir_all(dir);
+    artifacts
+}
+
+fn assert_shard_invariant(manifest_toml: &str, tag: &str) {
+    let manifest = Manifest::from_toml(manifest_toml).unwrap();
+    let reference = single_node(&manifest, tag);
+    for (shards, workers) in [(1usize, 2usize), (2, 1), (3, 3)] {
+        let other = sharded(&manifest, tag, shards, workers);
+        assert_eq!(
+            reference.keys().collect::<Vec<_>>(),
+            other.keys().collect::<Vec<_>>(),
+            "{tag}: different artifact sets at {shards} shards / {workers} workers"
+        );
+        for (path, bytes) in &reference {
+            assert_eq!(
+                bytes, &other[path],
+                "{tag}: artifact {path} differs from single-node at \
+                 {shards} shards / {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn noisy_exports_are_shard_invariant() {
+    assert_shard_invariant(NOISY, "noisy");
+}
+
+#[test]
+fn hardware_exports_are_shard_invariant() {
+    assert_shard_invariant(HARDWARE, "hardware");
+}
+
+/// Duplicate execution — the takeover race's worst case, where two
+/// workers both complete the same unit — must still merge byte-identical:
+/// records are bitwise-equal and deduplicate in canonicalization.
+#[test]
+fn duplicated_unit_executions_merge_identically() {
+    let manifest = Manifest::from_toml(NOISY).unwrap();
+    let reference = single_node(&manifest, "dup");
+
+    let dir = temp_dir("dup-sharded");
+    shard::plan_campaign(&manifest, &dir, 2, None).unwrap();
+    // First worker completes everything...
+    let first = shard::work_campaign(
+        &dir,
+        &WorkOptions {
+            worker: "a".into(),
+            quiet: true,
+            ..WorkOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(first.units_done > 0);
+    // ...then every done-marker is erased so a second worker re-executes
+    // each unit, leaving two record files per unit in shards/.
+    for entry in fs::read_dir(dir.join(shard::UNITS_DIR)).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "done") {
+            fs::remove_file(path).unwrap();
+        }
+    }
+    shard::work_campaign(
+        &dir,
+        &WorkOptions {
+            worker: "b".into(),
+            quiet: true,
+            ..WorkOptions::default()
+        },
+    )
+    .unwrap();
+    let per_unit = fs::read_dir(dir.join(shard::SHARDS_DIR)).unwrap().count();
+    assert!(
+        per_unit >= 2 * first.units_done,
+        "expected duplicated record files, found {per_unit}"
+    );
+
+    shard::merge_campaign(&dir).unwrap();
+    assert_eq!(tree(&dir.join("results")), reference);
+    let _ = fs::remove_dir_all(dir);
+}

@@ -62,6 +62,7 @@ pub mod mapping;
 pub mod metrics;
 pub mod report;
 pub mod serialize;
+pub mod shard;
 pub mod sweep;
 
 pub use campaign::{

@@ -431,6 +431,14 @@ pub fn take_trace() -> Vec<TraceEvent> {
 }
 
 impl Snapshot {
+    /// A counter's total, `0` when it never fired — the convenience
+    /// accessor assertion-heavy consumers (the chaos/shard test suites)
+    /// use instead of spelling out the map lookup.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Renders the snapshot as `metrics.json` (counters + histograms;
     /// cost rows go to [`Snapshot::costs_csv`] instead).
     #[must_use]
