@@ -21,11 +21,13 @@ pub struct FamilyInfo {
     pub summary: &'static str,
 }
 
-/// Widest circuit the registry will instantiate. Statevector simulation
-/// handles more, but campaign cost grows as gates × 312 × 4ⁿ under the
-/// density-matrix executors, so the registry draws the line where the
-/// paper's studies stop being interactive.
-pub const MAX_REGISTRY_QUBITS: usize = 12;
+/// Widest circuit the registry will instantiate. The density-matrix
+/// executors pay gates × 312 × 4ⁿ per campaign and cap out around 12
+/// qubits, but the Monte-Carlo trajectory executor replaces the 4ⁿ term
+/// with shots × 2ⁿ, which keeps 13–16-qubit campaigns (e.g. on the
+/// 16-qubit `guadalupe` backend) interactive. Manifest validation still
+/// steers >12-qubit workloads onto the trajectory backend.
+pub const MAX_REGISTRY_QUBITS: usize = 16;
 
 const FAMILIES: &[FamilyInfo] = &[
     FamilyInfo {

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use qufi_bench::experiments::{
     default_executor, fig10_distributions, fig11_hardware, fig4_worked_example, fig5_heatmaps,
-    fig6_per_qubit, fig7_scaling, fig8_double, fig9_delta,
+    fig6_per_qubit, fig7_scaling, fig7_trajectory_extension, fig8_double, fig9_delta,
 };
 use qufi_core::fault::FaultGrid;
 use std::f64::consts::PI;
@@ -40,6 +40,14 @@ fn bench_figures(c: &mut Criterion) {
         })
     });
     group.bench_function("fig11_hardware_vs_sim", |b| b.iter(|| fig11_hardware(7)));
+    // Fig. 7 extension: per-point trajectory sweeps past the density wall.
+    // 64 shots on the 2×2 grid keeps each width interactive; BENCHMARKS.md
+    // records the production shot counts.
+    for width in [10usize, 12, 14] {
+        group.bench_function(format!("fig7_trajectory_ext_{width}q"), |b| {
+            b.iter(|| fig7_trajectory_extension(&grid, 64, &[width]))
+        });
+    }
     group.finish();
 }
 

@@ -4,7 +4,9 @@ use qufi_algos::{paper_workloads, scaling_family, Workload};
 use qufi_core::campaign::{run_single_campaign, CampaignOptions, CampaignResult};
 use qufi_core::double::{neighbor_pairs, run_double_campaign, DoubleCampaignResult, DoubleOptions};
 use qufi_core::engine::SweepExecutor;
-use qufi_core::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
+use qufi_core::executor::{
+    Executor, HardwareExecutor, IdealExecutor, NoisyExecutor, TrajectoryExecutor,
+};
 use qufi_core::fault::{enumerate_injection_points, inject_fault, FaultGrid, FaultParams};
 use qufi_core::metrics::{mean, qvf_from_dist, stddev};
 use qufi_core::report::{Heatmap, Histogram};
@@ -285,6 +287,55 @@ pub fn fig11_hardware(seed: u64) -> Vec<Fig11Row> {
         .collect()
 }
 
+/// One width step of the Fig. 7 trajectory extension.
+#[derive(Debug, Clone)]
+pub struct TrajectoryExtensionPoint {
+    /// Circuit width.
+    pub qubits: usize,
+    /// Mean QVF across the swept grid at the probed injection point.
+    pub mean_qvf: f64,
+    /// Grid cells swept (each averaging `shots` trajectories).
+    pub cells: usize,
+}
+
+/// Fig. 7 extension — the paper's scaling study stops where the
+/// density-matrix cost wall (gates × 312 × 4ⁿ) stops being interactive,
+/// around 11 qubits. The Monte-Carlo trajectory executor replaces the 4ⁿ
+/// term with shots × 2ⁿ, carrying the same per-point QVF sweep to
+/// 10–16-qubit GHZ circuits on the 16-qubit guadalupe calibration. One
+/// mid-circuit injection point per width keeps the driver interactive;
+/// the per-point cost is what BENCHMARKS.md pins.
+pub fn fig7_trajectory_extension(
+    grid: &FaultGrid,
+    shots: u64,
+    widths: &[usize],
+) -> Vec<TrajectoryExtensionPoint> {
+    widths
+        .iter()
+        .map(|&n| {
+            let w = qufi_algos::build_workload(&format!("ghz-{n}")).expect("registry workload");
+            let ex = TrajectoryExecutor::with_shots(
+                BackendCalibration::guadalupe(),
+                0xF160 + n as u64,
+                shots,
+            );
+            let points = enumerate_injection_points(&w.circuit);
+            let point = points[points.len() / 2];
+            let prepared = ex.prepare(&w.circuit, point).expect("prepare");
+            let cells = prepared.replay_grid(grid, 1).expect("replay grid");
+            let qvfs: Vec<f64> = cells
+                .iter()
+                .map(|dist| qvf_from_dist(dist, &w.correct_outputs))
+                .collect();
+            TrajectoryExtensionPoint {
+                qubits: n,
+                mean_qvf: mean(&qvfs),
+                cells: qvfs.len(),
+            }
+        })
+        .collect()
+}
+
 /// The ideal-executor variant used in tests and ablations.
 pub fn ideal_executor() -> IdealExecutor {
     IdealExecutor
@@ -321,6 +372,24 @@ mod tests {
             assert_eq!(points.len(), 2, "{name}");
             assert!(points[0].injections > 0);
         }
+    }
+
+    #[test]
+    fn fig7_trajectory_extension_crosses_the_density_wall() {
+        let grid = FaultGrid::custom(vec![0.0, PI], vec![0.0]);
+        let out = fig7_trajectory_extension(&grid, 32, &[10, 13]);
+        assert_eq!(out.len(), 2);
+        for pt in &out {
+            assert!(
+                pt.qubits > qufi_sim::density::MAX_QUBITS || pt.qubits == 10,
+                "{pt:?}"
+            );
+            assert_eq!(pt.cells, 2);
+            assert!((0.0..=1.0).contains(&pt.mean_qvf), "{pt:?}");
+        }
+        // A θ=π cell drives QVF up relative to the null cell, so the mean
+        // sits strictly inside (0, 1).
+        assert!(out.iter().all(|p| p.mean_qvf > 0.0));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use crate::error::CliError;
 use crate::manifest::{ExecutorKind, Manifest};
 use qufi_core::campaign::{golden_outputs, run_point_sweep_parallel};
-use qufi_core::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
+use qufi_core::executor::{
+    Executor, HardwareExecutor, IdealExecutor, NoisyExecutor, TrajectoryExecutor,
+};
 use qufi_core::fault::{enumerate_injection_points, FaultGrid, InjectionPoint};
 use qufi_core::{ExecError, InjectionRecord};
 use qufi_noise::BackendCalibration;
@@ -89,6 +91,19 @@ pub enum JobExecutor {
         /// This job's id (folded into per-point seeds).
         job_id: String,
     },
+    /// Per-point Monte-Carlo trajectory executors — like the hardware
+    /// scenario, randomness derives from the point identity so shot
+    /// streams are schedule- and resume-invariant.
+    Trajectory {
+        /// Scaled calibration the per-point executors start from.
+        calibration: BackendCalibration,
+        /// Trajectory samples per grid cell.
+        shots: u64,
+        /// Campaign master seed.
+        campaign_seed: u64,
+        /// This job's id (folded into per-point seeds).
+        job_id: String,
+    },
 }
 
 /// A job bound to its circuit, golden outputs and executor — everything
@@ -146,6 +161,12 @@ impl JobRuntime {
                 campaign_seed: manifest.seed,
                 job_id: spec.id(),
             },
+            ExecutorKind::Trajectory => JobExecutor::Trajectory {
+                calibration: scaled_calibration(spec)?,
+                shots: manifest.shots,
+                campaign_seed: manifest.seed,
+                job_id: spec.id(),
+            },
         };
         let golden = golden_outputs(&workload.circuit)?;
         let baseline_qvf = {
@@ -155,6 +176,10 @@ impl JobRuntime {
                 JobExecutor::Hardware { .. } => executor
                     .hardware_for_point(BASELINE_POINT.0, BASELINE_POINT.1)
                     .expect("hardware variant")
+                    .execute(&workload.circuit)?,
+                JobExecutor::Trajectory { .. } => executor
+                    .trajectory_for_point(BASELINE_POINT.0, BASELINE_POINT.1)
+                    .expect("trajectory variant")
                     .execute(&workload.circuit)?,
             };
             qufi_core::metrics::qvf_from_dist(&dist, &golden)
@@ -212,6 +237,13 @@ impl JobRuntime {
                     .expect("hardware variant");
                 run_point_sweep_parallel(qc, golden, &ex, point, grid, grid_threads)
             }
+            JobExecutor::Trajectory { .. } => {
+                let ex = self
+                    .executor
+                    .trajectory_for_point(point.op_index, point.qubit)
+                    .expect("trajectory variant");
+                run_point_sweep_parallel(qc, golden, &ex, point, grid, grid_threads)
+            }
         }
     }
 }
@@ -230,6 +262,22 @@ impl JobExecutor {
                 derive_seed(*campaign_seed, job_id, op_index, qubit),
                 *shots,
                 *drift,
+            )),
+            _ => None,
+        }
+    }
+
+    fn trajectory_for_point(&self, op_index: usize, qubit: usize) -> Option<TrajectoryExecutor> {
+        match self {
+            JobExecutor::Trajectory {
+                calibration,
+                shots,
+                campaign_seed,
+                job_id,
+            } => Some(TrajectoryExecutor::with_shots(
+                calibration.clone(),
+                derive_seed(*campaign_seed, job_id, op_index, qubit),
+                *shots,
             )),
             _ => None,
         }
@@ -304,6 +352,29 @@ mod tests {
         // A fresh runtime reproduces them too.
         let rt2 = JobRuntime::prepare(&m, &jobs[0]).unwrap();
         assert_eq!(rt2.run_point(p1, &grid).unwrap(), a);
+        assert_eq!(rt2.baseline_qvf, rt.baseline_qvf);
+    }
+
+    #[test]
+    fn trajectory_points_are_reproducible_and_independent() {
+        let m = Manifest::from_toml(
+            "[campaign]\nname = \"t\"\nseed = 9\nexecutor = \"trajectory\"\nshots = 192\n\
+             workloads = [\"bv-3\"]\nbackends = [\"lima\"]\n[grid]\npreset = \"coarse\"\n",
+        )
+        .unwrap();
+        let jobs = job_matrix(&m);
+        let rt = JobRuntime::prepare(&m, &jobs[0]).unwrap();
+        let grid = FaultGrid::custom(vec![0.0, 1.0], vec![0.0]);
+        let p0 = rt.points[0];
+        let p1 = rt.points[1];
+        // Same point twice → identical records (order-independence).
+        let a = rt.run_point(p1, &grid).unwrap();
+        let _ = rt.run_point(p0, &grid).unwrap();
+        let b = rt.run_point(p1, &grid).unwrap();
+        assert_eq!(a, b);
+        // A fresh runtime and a split grid reproduce them too.
+        let rt2 = JobRuntime::prepare(&m, &jobs[0]).unwrap();
+        assert_eq!(rt2.run_point_split(p1, &grid, 2).unwrap(), a);
         assert_eq!(rt2.baseline_qvf, rt.baseline_qvf);
     }
 

@@ -8,7 +8,7 @@
 //! name = "smoke"
 //! seed = 42
 //! threads = 0                     # 0 = all cores
-//! executor = "noisy"              # ideal | noisy | hardware
+//! executor = "noisy"              # ideal | noisy | hardware | trajectory
 //! workloads = ["bv-4", "dj-4"]    # qufi_algos::registry names
 //! backends = ["jakarta", "lima"]  # qufi_noise calibrations
 //! noise_scales = [1.0]            # optional, per-backend scale sweep
@@ -49,6 +49,10 @@ pub enum ExecutorKind {
     Noisy,
     /// Noisy simulation plus calibration drift and finite-shot sampling.
     Hardware,
+    /// Monte-Carlo statevector trajectories under the same noise model as
+    /// `noisy` — `shots` samples per grid cell instead of the exact
+    /// density evolution, for workloads past the density width wall.
+    Trajectory,
 }
 
 impl ExecutorKind {
@@ -58,6 +62,7 @@ impl ExecutorKind {
             ExecutorKind::Ideal => "ideal",
             ExecutorKind::Noisy => "noisy",
             ExecutorKind::Hardware => "hardware",
+            ExecutorKind::Trajectory => "trajectory",
         }
     }
 
@@ -66,9 +71,10 @@ impl ExecutorKind {
             "ideal" => Ok(ExecutorKind::Ideal),
             "noisy" => Ok(ExecutorKind::Noisy),
             "hardware" => Ok(ExecutorKind::Hardware),
+            "trajectory" => Ok(ExecutorKind::Trajectory),
             other => Err(CliError::manifest_issue(ManifestIssue::new(
                 ManifestErrorKind::UnknownName,
-                format!("executor must be ideal|noisy|hardware, got {other:?}"),
+                format!("executor must be ideal|noisy|hardware|trajectory, got {other:?}"),
             ))),
         }
     }
@@ -391,6 +397,26 @@ impl Manifest {
         if self.executor == ExecutorKind::Ideal {
             return Ok(());
         }
+        // The density-matrix executors stop at `qufi_sim::density`'s width
+        // wall; past that the campaign must sample trajectories instead.
+        if matches!(self.executor, ExecutorKind::Noisy | ExecutorKind::Hardware) {
+            for (w, n) in &widths {
+                if *n > qufi_sim::density::MAX_QUBITS {
+                    return Err(located(
+                        src,
+                        K::Conflict,
+                        &format!("\"{w}\""),
+                        format!(
+                            "workload {w} needs {n} qubits but the {} executor simulates \
+                             density matrices up to {}; use executor = \"trajectory\" for \
+                             wider campaigns",
+                            self.executor.keyword(),
+                            qufi_sim::density::MAX_QUBITS
+                        ),
+                    ));
+                }
+            }
+        }
         for b in &self.backends {
             let cal = qufi_noise::BackendCalibration::named(b).ok_or_else(|| {
                 located(
@@ -685,6 +711,52 @@ preset = "coarse"
     }
 
     #[test]
+    fn trajectory_executor_parses_and_requires_backends() {
+        let m = Manifest::from_toml(
+            "[campaign]\nexecutor = \"trajectory\"\nshots = 512\n\
+             workloads = [\"ghz-14\"]\nbackends = [\"guadalupe\"]\n",
+        )
+        .unwrap();
+        assert_eq!(m.executor, ExecutorKind::Trajectory);
+        assert_eq!(m.shots, 512);
+
+        let err =
+            Manifest::from_toml("[campaign]\nexecutor = \"trajectory\"\nworkloads = [\"bv-4\"]\n")
+                .unwrap_err()
+                .to_string();
+        assert!(err.contains("backends is required"), "{err}");
+    }
+
+    #[test]
+    fn density_wall_misconfigurations_are_typed_conflicts() {
+        // A 14-qubit workload on a density executor is a structured
+        // conflict pointing at the trajectory backend, not a runtime panic.
+        for executor in ["noisy", "hardware"] {
+            let text = format!(
+                "[campaign]\nexecutor = \"{executor}\"\nworkloads = [\"ghz-14\"]\n\
+                 backends = [\"guadalupe\"]\n"
+            );
+            let err = Manifest::from_toml(&text).unwrap_err();
+            let issue = err.as_manifest_issue().expect("typed issue");
+            assert_eq!(issue.kind, ManifestErrorKind::Conflict);
+            assert!(issue.message.contains("trajectory"), "{}", issue.message);
+            let (lineno, line) = issue.line.clone().expect("located line");
+            assert_eq!(lineno, 3);
+            assert!(line.contains("ghz-14"), "{line}");
+        }
+        // Zero shots under trajectory is the same structured rejection the
+        // hardware scenario gets.
+        let err = Manifest::from_toml(
+            "[campaign]\nexecutor = \"trajectory\"\nshots = 0\n\
+             workloads = [\"bv-4\"]\nbackends = [\"jakarta\"]\n",
+        )
+        .unwrap_err();
+        let issue = err.as_manifest_issue().expect("typed issue");
+        assert_eq!(issue.kind, ManifestErrorKind::OutOfRange);
+        assert_eq!(issue.line.clone().expect("located line").0, 3);
+    }
+
+    #[test]
     fn duplicate_matrix_axes_are_rejected() {
         let err = |text: &str| Manifest::from_toml(text).unwrap_err().to_string();
         assert!(
@@ -729,6 +801,9 @@ preset = "coarse"
             SMOKE.to_string(),
             "[campaign]\nexecutor = \"ideal\"\nworkloads = [\"bv-4\"]\n\
              [grid]\nthetas = [0.0, 0.7853981633974483]\nphis = [0.0, 3.141592653589793]\n"
+                .to_string(),
+            "[campaign]\nexecutor = \"trajectory\"\nshots = 256\n\
+             workloads = [\"ghz-13\"]\nbackends = [\"guadalupe\"]\n"
                 .to_string(),
         ] {
             let m = Manifest::from_toml(&text).unwrap();

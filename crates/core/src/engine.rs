@@ -28,7 +28,9 @@
 //! with neighboring gates by the circuit optimizer.
 
 use crate::error::ExecError;
-use crate::executor::{compact_circuit, Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
+use crate::executor::{
+    compact_circuit, Executor, HardwareExecutor, IdealExecutor, NoisyExecutor, TrajectoryExecutor,
+};
 use crate::fault::{
     check_double_site, check_fault_order, check_injection_point, FaultGrid, FaultParams,
     InjectionPoint,
@@ -38,6 +40,9 @@ use crate::mapping::{
 };
 use parking_lot::Mutex;
 use qufi_noise::simulate::{NoisePlan, NoisyCursor};
+use qufi_noise::trajectory::{
+    finish_trajectory_dist, ShotAccumulator, TrajPlan, TrajWorkspace, TrajectoryCursor, SHOT_BLOCK,
+};
 use qufi_noise::NoiseModel;
 use qufi_sim::{
     CircuitCursor, DensityMatrix, EvolvableState, Op, ProbDist, QuantumCircuit, Statevector,
@@ -108,6 +113,11 @@ pub struct ReplayScratch {
     pub(crate) rho: Option<DensityMatrix>,
     /// Statevector buffer for the ideal replay path.
     pub(crate) sv: Option<Statevector>,
+    /// Statevector buffer for the trajectory replay path (one shot's
+    /// evolving state).
+    pub(crate) traj_sv: Option<Statevector>,
+    /// Kraus branch-sampling workspace for the trajectory replay path.
+    pub(crate) traj_ws: TrajWorkspace,
 }
 
 impl ReplayScratch {
@@ -681,8 +691,8 @@ impl Default for SeedHasher {
 }
 
 /// FNV-1a mix of arbitrary words — the seed-derivation shorthand for
-/// hardware sweeps.
-fn derive_seed(words: &[u64]) -> u64 {
+/// hardware and trajectory sweeps.
+pub(crate) fn derive_seed(words: &[u64]) -> u64 {
     let mut h = SeedHasher::new();
     for &w in words {
         h.mix_u64(w);
@@ -812,6 +822,427 @@ impl SweepExecutor for HardwareExecutor {
             point,
             Some(neighbor),
         )?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory executor: per-shot statevector prefixes, Kraus-branch sampling
+// through the suffix, seeds derived per (point, fault angles, shot) so the
+// Monte-Carlo estimate is as schedule-invariant as the exact paths.
+
+/// Stream tag separating per-shot *prefix* seeds from per-(cell, shot)
+/// *suffix* seeds: suffix seeds mix fault-angle bit patterns in this slot,
+/// and no valid angle has the all-ones (NaN) pattern.
+const PREFIX_STREAM_TAG: u64 = u64::MAX;
+
+/// Default ceiling on parked prefix-bank memory (amplitude bytes). Above
+/// it the sweep recomputes the prefix per (cell, shot) from the same seed
+/// stream — bit-identical, just slower. Override with
+/// `QUFI_TRAJ_BANK_BYTES`.
+const DEFAULT_BANK_BYTES: u64 = 256 << 20;
+
+/// Where a replay gets shot `s`'s prefix state from.
+enum PrefixBank {
+    /// One parked statevector per shot, computed once at prepare time and
+    /// shared (borrowed) by every grid cell.
+    Banked(Vec<Statevector>),
+    /// The bank would exceed the memory budget: replays re-evolve the
+    /// prefix from `|0…0⟩` under the same per-shot seed, which yields the
+    /// identical state.
+    Recompute,
+}
+
+/// Everything the trajectory replay path shares for one injection point.
+struct TrajectorySweep {
+    /// Marked logical circuit — `replay_naive` re-transpiles it per call.
+    marked: QuantumCircuit,
+    /// Stripped compact physical circuit the replays run on.
+    physical: QuantumCircuit,
+    /// Splice sites in compact physical coordinates, program order.
+    sites: Vec<SpliceSite>,
+    model: NoiseModel,
+    /// Kraus-operator plan compiled once per point, reused per shot.
+    plan: TrajPlan,
+    prefix_pos: usize,
+    /// `|0…0⟩` template restored into scratch when recomputing prefixes.
+    zero: Statevector,
+    bank: PrefixBank,
+    /// Base for the per-shot prefix and per-(cell, shot) suffix streams.
+    point_base: u64,
+    shots: u64,
+}
+
+/// Worker count for the optional shot-level parallel split, read per call
+/// so tests can vary it; shots are handed out in whole accumulator blocks
+/// to keep the fold bit-identical to serial.
+fn shot_workers() -> usize {
+    std::env::var("QUFI_TRAJ_SHOT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+fn bank_byte_limit() -> u64 {
+    std::env::var("QUFI_TRAJ_BANK_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_BANK_BYTES)
+}
+
+impl TrajectorySweep {
+    /// Transpiles a marked circuit, compiles the Kraus plan, and parks one
+    /// prefix statevector per shot (or arranges seed-identical recompute
+    /// when the bank would exceed `bank_limit` bytes of amplitudes).
+    fn prepare(
+        executor: &TrajectoryExecutor,
+        marked: QuantumCircuit,
+        n_sites: usize,
+        point: InjectionPoint,
+        neighbor: Option<usize>,
+        bank_limit: u64,
+    ) -> Result<Self, ExecError> {
+        let transpile_span = qufi_obs::span("prepare.transpile_ns");
+        let result = executor.transpiler().run(&marked)?;
+        transpile_span.finish();
+        let compact_span = qufi_obs::span("prepare.compact_ns");
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        let (physical, sites) = extract_splice_sites(&compact);
+        compact_span.finish();
+        if sites.len() != n_sites {
+            return Err(ExecError::Engine(format!(
+                "expected {n_sites} splice markers after transpilation, found {}",
+                sites.len()
+            )));
+        }
+        let plan_span = qufi_obs::span("prepare.plan_ns");
+        let model = executor.model_for(&active);
+        let plan = TrajPlan::compile(&physical, &model);
+        plan_span.finish();
+        let point_base = derive_seed(&[
+            executor.seed(),
+            point.op_index as u64,
+            point.qubit as u64,
+            neighbor.map_or(u64::MAX, |n| n as u64),
+        ]);
+        let shots = executor.shots();
+        let zero = Statevector::new(physical.num_qubits()).map_err(ExecError::Sim)?;
+        let prefix_pos = sites[0].index;
+        let mut sweep = TrajectorySweep {
+            marked,
+            physical,
+            sites,
+            model,
+            plan,
+            prefix_pos,
+            zero,
+            bank: PrefixBank::Recompute,
+            point_base,
+            shots,
+        };
+        let amp_bytes = (std::mem::size_of::<qufi_math::Complex>() as u64)
+            .saturating_mul(1u64 << sweep.physical.num_qubits())
+            .saturating_mul(shots);
+        if amp_bytes <= bank_limit {
+            let prefix_span = qufi_obs::span("prepare.prefix_ns");
+            let mut ws = TrajWorkspace::new();
+            // `bank` is still `Recompute` here, so this fills the bank
+            // through the exact code path the fallback replays later.
+            let bank = (0..shots)
+                .map(|shot| sweep.prefix_into(sweep.zero.clone(), shot, &mut ws))
+                .collect();
+            sweep.bank = PrefixBank::Banked(bank);
+            prefix_span.finish();
+        }
+        Ok(sweep)
+    }
+
+    /// The per-shot prefix RNG stream; disjoint from every suffix stream
+    /// by the [`PREFIX_STREAM_TAG`] slot.
+    fn prefix_seed(&self, shot: u64) -> u64 {
+        derive_seed(&[self.point_base, PREFIX_STREAM_TAG, shot])
+    }
+
+    /// The per-(cell, shot) suffix RNG stream, keyed by the fault angles
+    /// so replay order and grid chunking never matter.
+    fn suffix_seed(&self, faults: &[FaultParams], shot: u64) -> u64 {
+        let mut words = Vec::with_capacity(2 + 2 * faults.len());
+        words.push(self.point_base);
+        for f in faults {
+            words.push(f.theta.to_bits());
+            words.push(f.phi.to_bits());
+        }
+        words.push(shot);
+        derive_seed(&words)
+    }
+
+    /// Loads shot `shot`'s prefix state into `state` (buffer reused, no
+    /// allocation): from the bank when parked, otherwise re-evolved from
+    /// `|0…0⟩` under the same per-shot stream — the single code path the
+    /// bank fill itself runs, which is what makes the two modes
+    /// bit-identical.
+    fn prefix_into(
+        &self,
+        mut state: Statevector,
+        shot: u64,
+        ws: &mut TrajWorkspace,
+    ) -> Statevector {
+        match &self.bank {
+            PrefixBank::Banked(bank) => {
+                state.copy_from(&bank[shot as usize]);
+                state
+            }
+            PrefixBank::Recompute => {
+                state.copy_from(&self.zero);
+                let mut rng = SmallRng::seed_from_u64(self.prefix_seed(shot));
+                let mut cursor = TrajectoryCursor::resume(state, 0);
+                cursor.advance_planned(&self.plan, self.prefix_pos, &mut rng, ws);
+                cursor.into_state()
+            }
+        }
+    }
+
+    /// Runs shots `[start, end)` of one cell into `acc` through the given
+    /// plan (the parked one, or a freshly compiled one on the naive path).
+    #[allow(clippy::too_many_arguments)]
+    fn run_shot_range(
+        &self,
+        plan: &TrajPlan,
+        sites: &[SpliceSite],
+        faults: &[FaultParams],
+        start: u64,
+        end: u64,
+        acc: &mut ShotAccumulator,
+        sv_buf: &mut Option<Statevector>,
+        ws: &mut TrajWorkspace,
+    ) {
+        for shot in start..end {
+            let state = match sv_buf.take() {
+                Some(s) => s,
+                None => self.zero.clone(),
+            };
+            let state = self.prefix_into(state, shot, ws);
+            let mut rng = SmallRng::seed_from_u64(self.suffix_seed(faults, shot));
+            let mut cursor = TrajectoryCursor::resume(state, self.prefix_pos);
+            for (site, fault) in sites.iter().zip(faults) {
+                cursor.advance_planned(plan, site.index, &mut rng, ws);
+                cursor.apply_planned_injector(
+                    plan,
+                    fault.injector_gate(),
+                    site.qubit,
+                    &mut rng,
+                    ws,
+                );
+            }
+            cursor.advance_planned(plan, plan.size(), &mut rng, ws);
+            acc.add_shot(shot, cursor.state());
+            *sv_buf = Some(cursor.into_state());
+        }
+    }
+
+    /// Fast path: all shots of one `(θ, φ)` cell — prefix from the bank,
+    /// suffix under the cell's seed stream — averaged, confused, and
+    /// marginalized. `QUFI_TRAJ_SHOT_THREADS > 1` splits the shots across
+    /// scoped threads in whole accumulator blocks; the absorb-in-worker-
+    /// order merge keeps the result bit-identical to the serial fold.
+    fn replay(&self, faults: &[FaultParams], scratch: &mut ReplayScratch) -> ProbDist {
+        qufi_obs::add("traj.shots", self.shots);
+        let n = self.physical.num_qubits();
+        let mut acc = ShotAccumulator::new(n, self.shots);
+        let blocks = self.shots.div_ceil(SHOT_BLOCK);
+        let workers = (shot_workers() as u64).min(blocks).max(1);
+        if workers == 1 {
+            self.run_shot_range(
+                &self.plan,
+                &self.sites,
+                faults,
+                0,
+                self.shots,
+                &mut acc,
+                &mut scratch.traj_sv,
+                &mut scratch.traj_ws,
+            );
+        } else {
+            let per_worker_blocks = blocks.div_ceil(workers);
+            // Rounding blocks up may leave trailing workers with nothing to
+            // do (4 blocks over 3 workers → 2 + 2 + 0); drop them.
+            let workers = blocks.div_ceil(per_worker_blocks);
+            let parts = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let start = w * per_worker_blocks * SHOT_BLOCK;
+                        let end = ((w + 1) * per_worker_blocks * SHOT_BLOCK).min(self.shots);
+                        scope.spawn(move || {
+                            let mut part =
+                                ShotAccumulator::for_shot_range(n, self.shots, start, end);
+                            let mut sv_buf = None;
+                            let mut ws = TrajWorkspace::new();
+                            self.run_shot_range(
+                                &self.plan,
+                                &self.sites,
+                                faults,
+                                start,
+                                end,
+                                &mut part,
+                                &mut sv_buf,
+                                &mut ws,
+                            );
+                            qufi_obs::flush();
+                            part
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shot worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for part in &parts {
+                acc.absorb(part);
+            }
+        }
+        finish_trajectory_dist(acc.mean(), n, &self.model, &self.physical)
+    }
+
+    /// Oracle-flavored path: re-transpile the marked circuit and recompile
+    /// the Kraus plan from scratch, then run every shot un-banked and
+    /// un-split. The seed streams are the same pure functions of
+    /// `(point, fault angles, shot)`, so this is **bit-identical** to
+    /// [`TrajectorySweep::replay`] — it independently re-derives
+    /// everything the prepare step amortizes (transpilation, plan, prefix
+    /// bank, scratch reuse, shot chunking).
+    fn replay_naive(
+        &self,
+        transpiler: &qufi_transpile::Transpiler,
+        faults: &[FaultParams],
+    ) -> Result<ProbDist, ExecError> {
+        let result = transpiler.run(&self.marked)?;
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        let (physical, sites) = extract_splice_sites(&compact);
+        if sites.len() != faults.len() {
+            return Err(ExecError::Engine(format!(
+                "expected {} splice markers after re-transpilation, found {}",
+                faults.len(),
+                sites.len()
+            )));
+        }
+        let plan = TrajPlan::compile(&physical, &self.model);
+        let n = physical.num_qubits();
+        let prefix_pos = sites[0].index;
+        let mut acc = ShotAccumulator::new(n, self.shots);
+        let mut ws = TrajWorkspace::new();
+        let mut sv_buf = None;
+        let naive = TrajectorySweep {
+            marked: self.marked.clone(),
+            physical,
+            sites,
+            model: self.model.clone(),
+            plan,
+            prefix_pos,
+            zero: Statevector::new(n).map_err(ExecError::Sim)?,
+            bank: PrefixBank::Recompute,
+            point_base: self.point_base,
+            shots: self.shots,
+        };
+        naive.run_shot_range(
+            &naive.plan,
+            &naive.sites,
+            faults,
+            0,
+            naive.shots,
+            &mut acc,
+            &mut sv_buf,
+            &mut ws,
+        );
+        Ok(finish_trajectory_dist(
+            acc.mean(),
+            n,
+            &naive.model,
+            &naive.physical,
+        ))
+    }
+
+    fn prefix_gates(&self) -> usize {
+        gates_in(&self.physical, 0..self.prefix_pos)
+    }
+
+    fn suffix_gates(&self) -> usize {
+        gates_in(&self.physical, self.prefix_pos..self.physical.size())
+    }
+}
+
+struct TrajectoryPrepared<'a> {
+    executor: &'a TrajectoryExecutor,
+    sweep: TrajectorySweep,
+}
+
+impl PreparedSweep for TrajectoryPrepared<'_> {
+    fn replay_with(
+        &self,
+        fault: FaultParams,
+        scratch: &mut ReplayScratch,
+    ) -> Result<ProbDist, ExecError> {
+        Ok(self.sweep.replay(&[fault], scratch))
+    }
+
+    fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
+        self.sweep
+            .replay_naive(self.executor.transpiler(), &[fault])
+    }
+
+    fn prefix_gates(&self) -> usize {
+        self.sweep.prefix_gates()
+    }
+
+    fn suffix_gates(&self) -> usize {
+        self.sweep.suffix_gates()
+    }
+}
+
+impl PreparedDoubleSweep for TrajectoryPrepared<'_> {
+    fn replay(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        Ok(self
+            .sweep
+            .replay(&[first, second], &mut ReplayScratch::new()))
+    }
+
+    fn replay_naive(&self, first: FaultParams, second: FaultParams) -> Result<ProbDist, ExecError> {
+        check_fault_order(first, second)?;
+        self.sweep
+            .replay_naive(self.executor.transpiler(), &[first, second])
+    }
+}
+
+impl SweepExecutor for TrajectoryExecutor {
+    fn prepare<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+    ) -> Result<Box<dyn PreparedSweep + 'a>, ExecError> {
+        let marked = mark_injection_site(qc, point)?;
+        let sweep = TrajectorySweep::prepare(self, marked, 1, point, None, bank_byte_limit())?;
+        Ok(Box::new(TrajectoryPrepared {
+            executor: self,
+            sweep,
+        }))
+    }
+
+    fn prepare_double<'a>(
+        &'a self,
+        qc: &QuantumCircuit,
+        point: InjectionPoint,
+        neighbor: usize,
+    ) -> Result<Box<dyn PreparedDoubleSweep + 'a>, ExecError> {
+        let marked = mark_double_injection_site(qc, point, neighbor)?;
+        let sweep =
+            TrajectorySweep::prepare(self, marked, 2, point, Some(neighbor), bank_byte_limit())?;
+        Ok(Box::new(TrajectoryPrepared {
+            executor: self,
+            sweep,
+        }))
     }
 }
 
@@ -946,6 +1377,78 @@ mod tests {
             &p.replay_naive(first, second).unwrap(),
             "hardware double",
         );
+        let traj = TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 5, 130);
+        let p = traj.prepare_double(&qc, point, 1).unwrap();
+        assert_bit_identical(
+            &p.replay(first, second).unwrap(),
+            &p.replay_naive(first, second).unwrap(),
+            "trajectory double",
+        );
+    }
+
+    #[test]
+    fn trajectory_replay_matches_naive_bitwise() {
+        // 130 shots = two full blocks plus a partial tail, so the naive
+        // path exercises the same block-folding edge cases as the fast one.
+        let qc = bv();
+        let ex = TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 42, 130);
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        for (theta, phi) in [(0.0, 0.0), (PI, 0.0), (FRAC_PI_2, FRAC_PI_2), (0.3, 5.9)] {
+            let fault = FaultParams::shift(theta, phi);
+            let fast = prepared.replay(fault).unwrap();
+            let slow = prepared.replay_naive(fault).unwrap();
+            assert_bit_identical(&fast, &slow, "trajectory");
+        }
+    }
+
+    #[test]
+    fn trajectory_bank_modes_are_bit_identical() {
+        // The parked prefix bank is a cache, not a semantic switch: forcing
+        // recompute (limit 0) must reproduce the banked path bit for bit.
+        let qc = bv();
+        let ex = TrajectoryExecutor::with_shots(BackendCalibration::lima(), 9, 96);
+        let point = some_point();
+        let faults = [
+            FaultParams::shift(PI, 0.0),
+            FaultParams::shift(FRAC_PI_2, PI),
+        ];
+        let marked = mark_injection_site(&qc, point).unwrap();
+        let banked =
+            TrajectorySweep::prepare(&ex, marked.clone(), 1, point, None, u64::MAX).unwrap();
+        let recomputed = TrajectorySweep::prepare(&ex, marked, 1, point, None, 0).unwrap();
+        assert!(matches!(banked.bank, PrefixBank::Banked(_)));
+        assert!(matches!(recomputed.bank, PrefixBank::Recompute));
+        let mut scratch = ReplayScratch::new();
+        for &fault in &faults {
+            assert_bit_identical(
+                &banked.replay(&[fault], &mut scratch),
+                &recomputed.replay(&[fault], &mut scratch),
+                "bank mode",
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_shot_parallelism_is_bit_identical() {
+        // Shot workers only change scheduling: block-partial accumulators
+        // are absorbed in block order, so every worker count agrees bitwise.
+        // (Other tests may race on this env var; they assert bit-identity
+        // regardless of worker count, so the race is benign by design.)
+        let qc = bv();
+        let ex = TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 13, 256);
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        let fault = FaultParams::shift(FRAC_PI_2, 0.3);
+        std::env::set_var("QUFI_TRAJ_SHOT_THREADS", "1");
+        let serial = prepared.replay(fault).unwrap();
+        for workers in ["2", "3", "7"] {
+            std::env::set_var("QUFI_TRAJ_SHOT_THREADS", workers);
+            assert_bit_identical(
+                &prepared.replay(fault).unwrap(),
+                &serial,
+                &format!("{workers} shot workers"),
+            );
+        }
+        std::env::remove_var("QUFI_TRAJ_SHOT_THREADS");
     }
 
     #[test]
@@ -1009,6 +1512,9 @@ mod tests {
                 .prepare(&qc, some_point())
                 .unwrap(),
             HardwareExecutor::new(BackendCalibration::jakarta(), 3)
+                .prepare(&qc, some_point())
+                .unwrap(),
+            TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 11, 128)
                 .prepare(&qc, some_point())
                 .unwrap(),
         ] {
@@ -1083,6 +1589,15 @@ mod tests {
             let reused = prepared.replay_with(fault, &mut scratch).unwrap();
             let fresh = prepared.replay(fault).unwrap();
             assert_bit_identical(&reused, &fresh, "scratch reuse");
+        }
+        // The trajectory path keeps its own statevector + workspace in the
+        // scratch; reuse across faults must not leak state between replays.
+        let traj = TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 21, 96);
+        let prepared = traj.prepare(&qc, some_point()).unwrap();
+        for &fault in &faults {
+            let reused = prepared.replay_with(fault, &mut scratch).unwrap();
+            let fresh = prepared.replay(fault).unwrap();
+            assert_bit_identical(&reused, &fresh, "trajectory scratch reuse");
         }
     }
 

@@ -10,6 +10,11 @@
 //!    available IBM-Q machine": the noisy pipeline plus per-job calibration
 //!    drift and finite-shot sampling (1024 shots, as the paper uses). See
 //!    DESIGN.md §4 for the substitution rationale.
+//!
+//! A fourth backend, [`TrajectoryExecutor`], targets the widths the exact
+//! density path cannot reach: it runs scenario 2's noise model through
+//! Monte-Carlo statevector trajectories (`qufi_noise::trajectory`), paying
+//! an `O(1/√shots)` statistical error instead of `4^n` memory.
 
 use crate::error::ExecError;
 use parking_lot::Mutex;
@@ -254,6 +259,102 @@ impl Executor for HardwareExecutor {
     }
 }
 
+/// Scenario 2 at trajectory widths: Monte-Carlo statevector sampling of
+/// the same calibrated noise model [`NoisyExecutor`] evolves exactly.
+///
+/// No calibration drift is applied — the model is shared verbatim with
+/// the density path, which is what lets the statistical-equivalence suite
+/// use [`NoisyExecutor`] as the oracle on overlap widths (≤ 7 qubits)
+/// while this executor extends the same scenario to 10–14 qubits.
+///
+/// Determinism: every shot's RNG stream is derived from
+/// `(seed, stream tag, shot)` through the campaign seed hasher, so the
+/// result is a pure function of `(circuit, calibration, shots, seed)` —
+/// independent of threading or chunking, like every other backend.
+pub struct TrajectoryExecutor {
+    calibration: BackendCalibration,
+    transpiler: Transpiler,
+    /// Noise models per active-qubit set, built lazily.
+    model_cache: Mutex<HashMap<Vec<usize>, NoiseModel>>,
+    shots: u64,
+    seed: u64,
+    label: String,
+}
+
+impl TrajectoryExecutor {
+    /// Standard configuration: 1024 trajectories per execution.
+    pub fn new(calibration: BackendCalibration, seed: u64) -> Self {
+        TrajectoryExecutor::with_shots(calibration, seed, 1024)
+    }
+
+    /// Fully explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn with_shots(calibration: BackendCalibration, seed: u64, shots: u64) -> Self {
+        assert!(shots > 0, "need at least one shot");
+        let coupling = CouplingMap::from_edges(calibration.num_qubits(), calibration.coupling());
+        let label = format!("trajectory({})", calibration.name);
+        TrajectoryExecutor {
+            transpiler: Transpiler::new(coupling, OptimizationLevel::Level3),
+            calibration,
+            model_cache: Mutex::new(HashMap::new()),
+            shots,
+            seed,
+            label,
+        }
+    }
+
+    /// Trajectories per execution.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// The transpiler in use.
+    pub fn transpiler(&self) -> &Transpiler {
+        &self.transpiler
+    }
+
+    /// The device calibration in use.
+    pub fn calibration(&self) -> &BackendCalibration {
+        &self.calibration
+    }
+
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub(crate) fn model_for(&self, active: &[usize]) -> NoiseModel {
+        let mut cache = self.model_cache.lock();
+        cache
+            .entry(active.to_vec())
+            .or_insert_with(|| self.calibration.restrict(active).noise_model())
+            .clone()
+    }
+}
+
+impl Executor for TrajectoryExecutor {
+    fn execute(&self, qc: &QuantumCircuit) -> Result<ProbDist, ExecError> {
+        let result = self.transpiler.run(qc)?;
+        let active = result.active_physical_qubits();
+        let compact = compact_circuit(result.circuit(), &active);
+        let model = self.model_for(&active);
+        // The u64::MAX tag separates the ad-hoc execute stream from the
+        // sweep engine's per-point streams (which mix fault-angle bits in
+        // that slot — never u64::MAX, see the engine's seed derivation).
+        let seed = self.seed;
+        let dist = qufi_noise::run_trajectories(&compact, &model, self.shots, |shot| {
+            crate::engine::derive_seed(&[seed, u64::MAX, shot])
+        })?;
+        Ok(dist)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +431,25 @@ mod tests {
     }
 
     #[test]
+    fn trajectory_executor_is_reproducible_and_converges() {
+        let a = TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 42, 512)
+            .execute(&bv())
+            .unwrap();
+        let b = TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 42, 512)
+            .execute(&bv())
+            .unwrap();
+        for i in 0..a.len() {
+            assert_eq!(a.prob(i).to_bits(), b.prob(i).to_bits(), "outcome {i}");
+        }
+        // Statistically close to the exact density path on the same model.
+        let oracle = NoisyExecutor::new(BackendCalibration::jakarta())
+            .execute(&bv())
+            .unwrap();
+        assert!(a.tv_distance(&oracle) < 0.05);
+        assert_eq!(a.most_probable().0, 0b101);
+    }
+
+    #[test]
     fn executor_names_are_meaningful() {
         assert_eq!(IdealExecutor.name(), "ideal");
         assert!(NoisyExecutor::new(BackendCalibration::lima())
@@ -338,6 +458,9 @@ mod tests {
         assert!(HardwareExecutor::new(BackendCalibration::jakarta(), 0)
             .name()
             .contains("jakarta"));
+        assert!(TrajectoryExecutor::new(BackendCalibration::guadalupe(), 0)
+            .name()
+            .contains("guadalupe"));
     }
 
     #[test]
@@ -346,5 +469,6 @@ mod tests {
         assert_sync::<IdealExecutor>();
         assert_sync::<NoisyExecutor>();
         assert_sync::<HardwareExecutor>();
+        assert_sync::<TrajectoryExecutor>();
     }
 }

@@ -17,7 +17,9 @@
 //!   silent-data-corruption), and distribution statistics.
 //! * [`executor`] — the three execution scenarios of §IV-B: ideal
 //!   simulation, noisy simulation of a physical machine, and a simulated
-//!   hardware backend with calibration drift and 1024-shot sampling.
+//!   hardware backend with calibration drift and 1024-shot sampling — plus
+//!   a Monte-Carlo trajectory backend that extends the noisy scenario past
+//!   the density-matrix width wall (10–14 qubits and beyond).
 //! * [`campaign`] — parallel single-fault campaigns over all injection
 //!   points × phase shifts.
 //! * [`double`] — multi-qubit fault campaigns on physically-adjacent qubit
@@ -72,7 +74,7 @@ pub use campaign::{
 pub use double::{DoubleCampaignResult, DoubleInjectionRecord, DoubleOptions};
 pub use engine::{PreparedDoubleSweep, PreparedSweep, ReplayScratch, SweepExecutor};
 pub use error::ExecError;
-pub use executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
+pub use executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor, TrajectoryExecutor};
 pub use fault::{
     enumerate_injection_points, inject_double_fault, inject_fault, FaultGrid, FaultParams,
     InjectionPoint,
@@ -88,7 +90,9 @@ pub mod prelude {
     };
     pub use crate::double::{run_double_campaign, DoubleOptions};
     pub use crate::engine::{PreparedDoubleSweep, PreparedSweep, SweepExecutor};
-    pub use crate::executor::{Executor, HardwareExecutor, IdealExecutor, NoisyExecutor};
+    pub use crate::executor::{
+        Executor, HardwareExecutor, IdealExecutor, NoisyExecutor, TrajectoryExecutor,
+    };
     pub use crate::fault::{
         enumerate_injection_points, inject_fault, FaultGrid, FaultParams, InjectionPoint,
     };

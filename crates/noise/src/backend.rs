@@ -93,7 +93,7 @@ fn qubit(t1_us: f64, t2_us: f64, err_1q: f64, p01: f64, p10: f64) -> QubitCalibr
 /// Short names of the built-in synthetic calibrations, resolvable by
 /// [`BackendCalibration::named`] — the catalogue behind `qufi list
 /// backends` and campaign-manifest `backends = [...]` entries.
-pub const BUILTIN_BACKENDS: &[&str] = &["jakarta", "casablanca", "lima", "bogota"];
+pub const BUILTIN_BACKENDS: &[&str] = &["jakarta", "casablanca", "lima", "bogota", "guadalupe"];
 
 impl BackendCalibration {
     /// Number of physical qubits.
@@ -111,6 +111,7 @@ impl BackendCalibration {
             "casablanca" => Some(Self::casablanca()),
             "lima" => Some(Self::lima()),
             "bogota" => Some(Self::bogota()),
+            "guadalupe" => Some(Self::guadalupe()),
             _ => None,
         }
     }
@@ -203,6 +204,68 @@ impl BackendCalibration {
             ],
             coupling: vec![(0, 1), (1, 2), (2, 3), (3, 4)],
             cx_errors: vec![6.8e-3, 7.9e-3, 6.3e-3, 9.2e-3],
+            times: GateTimes::default(),
+        }
+    }
+
+    /// Synthetic 16-qubit Guadalupe device (Falcon r4P heavy-hex cell) —
+    /// the width target of the trajectory executor, far past the
+    /// density-matrix engine's practical ceiling.
+    ///
+    /// ```text
+    ///  0 -  1 -  2 -  3
+    ///       |         |
+    ///       4         5
+    ///       |         |
+    ///  6 -  7         8 -  9
+    ///       |         |
+    ///      10        11
+    ///       |         |
+    /// 15 - 12 - 13 - 14
+    /// ```
+    pub fn guadalupe() -> Self {
+        BackendCalibration {
+            name: "ibmq_guadalupe".into(),
+            qubits: vec![
+                qubit(121.5, 89.4, 2.4e-4, 0.021, 0.035),
+                qubit(98.7, 112.6, 2.8e-4, 0.025, 0.042),
+                qubit(143.2, 54.8, 2.1e-4, 0.018, 0.031),
+                qubit(110.9, 131.7, 3.0e-4, 0.029, 0.049),
+                qubit(156.3, 77.2, 2.3e-4, 0.016, 0.028),
+                qubit(89.1, 98.5, 3.3e-4, 0.032, 0.054),
+                qubit(134.6, 45.9, 2.2e-4, 0.020, 0.033),
+                qubit(117.4, 124.1, 2.6e-4, 0.023, 0.038),
+                qubit(102.8, 66.3, 2.9e-4, 0.027, 0.045),
+                qubit(148.0, 105.2, 2.0e-4, 0.017, 0.029),
+                qubit(95.5, 83.7, 3.1e-4, 0.030, 0.051),
+                qubit(127.3, 139.8, 2.5e-4, 0.022, 0.036),
+                qubit(139.9, 59.1, 2.3e-4, 0.019, 0.032),
+                qubit(106.2, 117.9, 2.7e-4, 0.026, 0.044),
+                qubit(151.7, 72.6, 2.2e-4, 0.018, 0.030),
+                qubit(92.4, 101.3, 3.2e-4, 0.031, 0.052),
+            ],
+            coupling: vec![
+                (0, 1),
+                (1, 2),
+                (1, 4),
+                (2, 3),
+                (3, 5),
+                (4, 7),
+                (5, 8),
+                (6, 7),
+                (7, 10),
+                (8, 9),
+                (8, 11),
+                (10, 12),
+                (11, 14),
+                (12, 13),
+                (12, 15),
+                (13, 14),
+            ],
+            cx_errors: vec![
+                7.4e-3, 6.8e-3, 9.2e-3, 7.9e-3, 1.08e-2, 6.5e-3, 8.8e-3, 7.1e-3, 9.6e-3, 6.2e-3,
+                8.1e-3, 7.7e-3, 1.15e-2, 6.9e-3, 8.5e-3, 7.3e-3,
+            ],
             times: GateTimes::default(),
         }
     }
@@ -327,6 +390,7 @@ mod tests {
             BackendCalibration::casablanca(),
             BackendCalibration::lima(),
             BackendCalibration::bogota(),
+            BackendCalibration::guadalupe(),
         ] {
             assert_eq!(cal.cx_errors.len(), cal.coupling.len());
             for q in &cal.qubits {

@@ -18,6 +18,9 @@
 //!   calibration drift the paper mentions ("the noise is not static", §V-E).
 //! * [`simulate`] — a noisy density-matrix runner: gate → unitary, then
 //!   noise channels; measurement → readout confusion.
+//! * [`trajectory`] — the Monte-Carlo statevector counterpart: per-shot
+//!   Kraus-branch sampling that trades the density path's `4^n` cost for
+//!   an `O(1/√shots)` statistical error, opening 10–14-qubit campaigns.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod mitigation;
 pub mod model;
 pub mod readout;
 pub mod simulate;
+pub mod trajectory;
 
 pub use backend::{BackendCalibration, GateTimes, QubitCalibration, BUILTIN_BACKENDS};
 pub use channel::KrausChannel;
@@ -51,3 +55,7 @@ pub use mitigation::mitigate_readout;
 pub use model::NoiseModel;
 pub use readout::ReadoutError;
 pub use simulate::{NoisePlan, NoisyCursor};
+pub use trajectory::{
+    finish_trajectory_dist, run_trajectories, ShotAccumulator, TrajPlan, TrajWorkspace,
+    TrajectoryCursor, SHOT_BLOCK,
+};

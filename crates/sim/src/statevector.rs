@@ -180,6 +180,15 @@ impl Statevector {
         self.n = src.n;
         self.amps.clone_from(&src.amps);
     }
+
+    /// Multiplies every amplitude by a real factor in place — the
+    /// renormalization primitive of the trajectory engine, which scales a
+    /// post-Kraus state by `1/√w` after sampling a branch of weight `w`.
+    pub fn scale(&mut self, factor: f64) {
+        for a in &mut self.amps {
+            *a = *a * factor;
+        }
+    }
 }
 
 #[cfg(test)]
