@@ -19,9 +19,12 @@
 //!
 //! Sites live in this crate's shard/lease/export layers
 //! (`unit.pre_write`, `unit.mid_write`, `unit.post_write`,
-//! `lease.refresh`, `merge.pre_publish`, `export.write`, `claim.io`).
-//! The tables parse the environment once per process: harness tests
-//! set the variables *before* spawning the worker binary.
+//! `lease.refresh`, `merge.pre_publish`, `export.write`, `claim.io`),
+//! the checkpointed runner (`runner.append`, armed by the daemon
+//! crash-recovery e2e to die mid-append), and the service job handler
+//! (`serve.job.pre_run`, `serve.job.post_run`). The tables parse the
+//! environment once per process: harness tests set the variables
+//! *before* spawning the worker binary.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -76,8 +76,9 @@ pub fn job_matrix(manifest: &Manifest) -> Vec<JobSpec> {
 pub enum JobExecutor {
     /// Shared noiseless executor.
     Ideal(IdealExecutor),
-    /// Shared density-matrix executor.
-    Noisy(NoisyExecutor),
+    /// Shared density-matrix executor (boxed: its calibration tables
+    /// dwarf the other variants).
+    Noisy(Box<NoisyExecutor>),
     /// Per-point hardware executors (calibration kept for rebuilding).
     Hardware {
         /// Scaled calibration the per-point executors start from.
@@ -152,7 +153,7 @@ impl JobRuntime {
         let executor = match manifest.executor {
             ExecutorKind::Ideal => JobExecutor::Ideal(IdealExecutor),
             ExecutorKind::Noisy => {
-                JobExecutor::Noisy(NoisyExecutor::new(scaled_calibration(spec)?))
+                JobExecutor::Noisy(Box::new(NoisyExecutor::new(scaled_calibration(spec)?)))
             }
             ExecutorKind::Hardware => JobExecutor::Hardware {
                 calibration: scaled_calibration(spec)?,
@@ -228,7 +229,7 @@ impl JobRuntime {
                 run_point_sweep_parallel(qc, golden, ex, point, grid, grid_threads)
             }
             JobExecutor::Noisy(ex) => {
-                run_point_sweep_parallel(qc, golden, ex, point, grid, grid_threads)
+                run_point_sweep_parallel(qc, golden, ex.as_ref(), point, grid, grid_threads)
             }
             JobExecutor::Hardware { .. } => {
                 let ex = self
@@ -282,6 +283,60 @@ impl JobExecutor {
             _ => None,
         }
     }
+}
+
+/// Everything [`JobRuntime::prepare`] reads, flattened into a hashable
+/// key: the executor scenario plus the manifest knobs that reach it.
+/// Two (manifest, spec) pairs with equal keys build byte-identical
+/// runtimes, which is what makes runtimes safe to share across
+/// campaigns — and across tenants of the campaign service.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RuntimeKey {
+    executor: &'static str,
+    workload: String,
+    backend: String,
+    scale_bits: u64,
+    seed: u64,
+    shots: u64,
+    drift_bits: u64,
+}
+
+impl RuntimeKey {
+    /// The cache key for `spec` under `manifest`.
+    pub fn new(manifest: &Manifest, spec: &JobSpec) -> RuntimeKey {
+        RuntimeKey {
+            executor: manifest.executor.keyword(),
+            workload: spec.workload.clone(),
+            backend: spec.backend.clone(),
+            scale_bits: spec.scale.to_bits(),
+            seed: manifest.seed,
+            shots: manifest.shots,
+            drift_bits: manifest.drift.to_bits(),
+        }
+    }
+}
+
+/// A shared single-flight cache of prepared job runtimes, keyed by
+/// [`RuntimeKey`]. Concurrent campaigns that name the same (workload,
+/// backend, scale, executor-config) cell pay the prepare cost —
+/// workload build, golden outputs, baseline execution, point
+/// enumeration — exactly once and share the result.
+pub type RuntimeCache = qufi_core::PrepareCache<RuntimeKey, JobRuntime>;
+
+/// [`JobRuntime::prepare`] through a shared [`RuntimeCache`].
+///
+/// # Errors
+///
+/// Propagates [`JobRuntime::prepare`] failures; a failed prepare is not
+/// cached, so a later retry rebuilds.
+pub fn prepare_cached(
+    cache: &RuntimeCache,
+    manifest: &Manifest,
+    spec: &JobSpec,
+) -> Result<std::sync::Arc<JobRuntime>, CliError> {
+    cache.get_or_try_build(&RuntimeKey::new(manifest, spec), || {
+        JobRuntime::prepare(manifest, spec)
+    })
 }
 
 fn scaled_calibration(spec: &JobSpec) -> Result<BackendCalibration, CliError> {
@@ -376,6 +431,33 @@ mod tests {
         let rt2 = JobRuntime::prepare(&m, &jobs[0]).unwrap();
         assert_eq!(rt2.run_point_split(p1, &grid, 2).unwrap(), a);
         assert_eq!(rt2.baseline_qvf, rt.baseline_qvf);
+    }
+
+    #[test]
+    fn runtime_cache_shares_across_equal_specs_and_splits_on_config() {
+        let m = manifest("noisy");
+        let jobs = job_matrix(&m);
+        let cache = RuntimeCache::new(8);
+        let a = prepare_cached(&cache, &m, &jobs[0]).unwrap();
+        let b = prepare_cached(&cache, &m, &jobs[0]).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "same cell shares one runtime"
+        );
+        let other = prepare_cached(&cache, &m, &jobs[1]).unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &other),
+            "x2 scale is a different cell"
+        );
+        // A different seed changes hardware-scenario streams → distinct key.
+        let mh = manifest("hardware");
+        let mut mh2 = mh.clone();
+        mh2.seed = mh.seed + 1;
+        assert_ne!(
+            RuntimeKey::new(&mh, &jobs[0]),
+            RuntimeKey::new(&mh2, &jobs[0])
+        );
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -231,52 +231,10 @@ impl Lease {
 }
 
 /// Capped exponential backoff with a deterministic, derived jitter —
-/// the retry schedule for transient claim/refresh/write failures.
-#[derive(Debug, Clone)]
-pub struct Backoff {
-    base: Duration,
-    cap: Duration,
-    attempts_left: u32,
-    attempt: u32,
-    seed: u64,
-}
-
-impl Backoff {
-    /// A schedule of `max_attempts` delays starting at `base`, doubling,
-    /// capped at `cap`, jittered by a hash of (`seed_key`, attempt).
-    pub fn new(base: Duration, cap: Duration, max_attempts: u32, seed_key: &str) -> Backoff {
-        Backoff {
-            base,
-            cap,
-            attempts_left: max_attempts,
-            attempt: 0,
-            seed: qufi_core::engine::SeedHasher::new()
-                .mix_bytes(seed_key.as_bytes())
-                .finish(),
-        }
-    }
-
-    /// The next delay to sleep, or `None` when the budget is exhausted.
-    pub fn next_delay(&mut self) -> Option<Duration> {
-        if self.attempts_left == 0 {
-            return None;
-        }
-        self.attempts_left -= 1;
-        let exp = self
-            .base
-            .saturating_mul(1u32 << self.attempt.min(16))
-            .min(self.cap);
-        // Jitter in [0, base): derived from the key and attempt number,
-        // so the schedule replays identically — never wall-clock RNG.
-        let jitter_ns = qufi_core::engine::SeedHasher::new()
-            .mix_u64(self.seed)
-            .mix_u64(self.attempt as u64)
-            .finish()
-            % self.base.as_nanos().max(1) as u64;
-        self.attempt += 1;
-        Some(exp + Duration::from_nanos(jitter_ns))
-    }
-}
+/// the retry schedule for transient claim/refresh/write failures. Now
+/// shared with the campaign service's worker supervision, so the
+/// implementation lives in [`qufi_core::retry`].
+pub use qufi_core::retry::Backoff;
 
 #[cfg(test)]
 mod tests {

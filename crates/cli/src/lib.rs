@@ -51,6 +51,7 @@ pub mod lease;
 pub mod manifest;
 pub mod obs_artifacts;
 pub mod runner;
+pub mod serve_cmd;
 pub mod shard;
 pub mod stats;
 pub mod toml;
@@ -60,6 +61,7 @@ pub use export::{export_artifacts, ExportReport};
 pub use job::{job_matrix, JobSpec};
 pub use manifest::{ExecutorKind, GridSpec, Manifest};
 pub use runner::{dry_run_plan, run_campaign, JobOutcome, RunOptions, RunStatus, RunSummary};
+pub use serve_cmd::{serve, CampaignHandler, ServeOptions};
 pub use shard::{merge_campaign, plan_campaign, work_campaign, MergeReport, WorkOptions};
 pub use stats::{render_runs, render_stats};
 

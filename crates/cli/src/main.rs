@@ -12,6 +12,8 @@
 //! qufi shard work <campaign-dir> --worker NAME [--shard K]
 //!                 [--lease-timeout-ms N] [--threads N]
 //! qufi shard merge <campaign-dir>
+//! qufi serve [--addr HOST:PORT] [--out DIR] [--workers N] [--queue N]
+//!            [--job-timeout-ms N] [--threads N]
 //! ```
 //!
 //! Exit codes: `0` success / campaign complete, `2` budget expired
@@ -19,8 +21,8 @@
 
 use qufi_cli::{
     default_out_dir, dry_run_plan, export_artifacts, load_stored_manifest, merge_campaign,
-    plan_campaign, render_runs, render_stats, resume, run_to_completion, work_campaign, CliError,
-    GridSpec, Manifest, RunOptions, RunStatus, WorkOptions,
+    plan_campaign, render_runs, render_stats, resume, run_to_completion, serve, work_campaign,
+    CliError, GridSpec, Manifest, RunOptions, RunStatus, ServeOptions, WorkOptions,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -41,6 +43,8 @@ USAGE:
     qufi shard work <campaign-dir> --worker NAME [--shard K]
                     [--lease-timeout-ms N] [--threads N]
     qufi shard merge <campaign-dir>
+    qufi serve [--addr HOST:PORT] [--out DIR] [--workers N] [--queue N]
+               [--job-timeout-ms N] [--threads N]
 
 COMMANDS:
     run      Execute a campaign manifest; checkpoints land in the output
@@ -58,6 +62,12 @@ COMMANDS:
              (SIGKILL-safe; stale units are taken over), and `merge`
              folds the per-unit files into checkpoints + results that
              are byte-identical to a single-node run.
+    serve    Run the campaign daemon: line-delimited JSON over TCP
+             (submit/status/cancel/list/health/shutdown), a durable
+             bounded queue with idempotent content-addressed submission,
+             per-job timeouts, 3-strike poison quarantine, and graceful
+             drain. Kill it any time; the next start resumes the queue
+             and its checkpoints. See README \"Service & failure model\".
 
 OPTIONS:
     --out DIR      Output directory (default: qufi-runs/<campaign name>)
@@ -77,6 +87,15 @@ OPTIONS:
     --shard K      (shard work) Home shard (default: derived from NAME)
     --lease-timeout-ms N
                    (shard work) Stale-lease takeover threshold (default: 5000)
+    --addr HOST:PORT
+                   (serve) Listen address (default: 127.0.0.1:7077; port 0
+                   binds an ephemeral port, published in <out>/serve.addr)
+    --workers N    (serve) Campaign worker threads (default: 2)
+    --queue N      (serve) Admission-queue bound; submissions past it are
+                   shed with a structured `overloaded` error (default: 64)
+    --job-timeout-ms N
+                   (serve) Per-job wall-clock timeout; a timed-out job is
+                   canceled cooperatively, checkpoints kept (default: none)
 
 Set QUFI_FSYNC=1 to fsync every checkpoint append (durability against
 power loss, not just process death).
@@ -108,6 +127,7 @@ fn dispatch(args: Vec<String>) -> Result<ExitCode, CliError> {
         "stats" => cmd_stats(args.collect()),
         "list" => cmd_list(args.collect()),
         "shard" => cmd_shard(args.collect()),
+        "serve" => cmd_serve(args.collect()),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -129,6 +149,10 @@ struct CommonFlags {
     worker: Option<String>,
     shard: Option<usize>,
     lease_timeout_ms: Option<u64>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    job_timeout_ms: Option<u64>,
 }
 
 fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
@@ -145,6 +169,10 @@ fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
         worker: None,
         shard: None,
         lease_timeout_ms: None,
+        addr: None,
+        workers: None,
+        queue: None,
+        job_timeout_ms: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -169,6 +197,15 @@ fn parse_flags(args: Vec<String>) -> Result<CommonFlags, CliError> {
             "--lease-timeout-ms" => {
                 flags.lease_timeout_ms =
                     Some(parse_number(&take_value(&mut iter, "--lease-timeout-ms")?)? as u64)
+            }
+            "--addr" => flags.addr = Some(take_value(&mut iter, "--addr")?),
+            "--workers" => {
+                flags.workers = Some(parse_number(&take_value(&mut iter, "--workers")?)?)
+            }
+            "--queue" => flags.queue = Some(parse_number(&take_value(&mut iter, "--queue")?)?),
+            "--job-timeout-ms" => {
+                flags.job_timeout_ms =
+                    Some(parse_number(&take_value(&mut iter, "--job-timeout-ms")?)? as u64)
             }
             a if a.starts_with("--") => return Err(CliError::usage(format!("unknown flag {a:?}"))),
             _ => flags.positional.push(arg),
@@ -449,4 +486,25 @@ fn cmd_shard(args: Vec<String>) -> Result<ExitCode, CliError> {
             "unknown shard subcommand {other:?}; try plan, work, or merge"
         ))),
     }
+}
+
+fn cmd_serve(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let flags = parse_flags(args)?;
+    reject_dry_run(&flags)?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::usage("serve takes no positional arguments"));
+    }
+    let defaults = ServeOptions::default();
+    let opts = ServeOptions {
+        addr: flags.addr.unwrap_or(defaults.addr),
+        dir: flags.out.unwrap_or(defaults.dir),
+        workers: flags.workers.unwrap_or(defaults.workers),
+        queue_cap: flags.queue.unwrap_or(defaults.queue_cap),
+        job_timeout_ms: flags.job_timeout_ms,
+        threads: flags.opts.threads,
+    };
+    serve(&opts)?;
+    // A drained daemon is a success: admissions stopped, in-flight work
+    // finished or checkpointed, queue persisted.
+    Ok(ExitCode::SUCCESS)
 }

@@ -13,12 +13,13 @@
 
 use crate::checkpoint::{CheckpointStore, JobMeta};
 use crate::error::CliError;
-use crate::job::{job_matrix, JobRuntime};
+use crate::job::{job_matrix, JobRuntime, RuntimeCache};
 use crate::manifest::Manifest;
 use parking_lot::Mutex;
 use qufi_core::fault::{FaultGrid, InjectionPoint};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Invocation-level knobs that do not belong in the manifest.
@@ -40,6 +41,25 @@ pub struct RunOptions {
     pub metrics: bool,
     /// Additionally write a `trace.jsonl` span log (implies `metrics`).
     pub trace: bool,
+    /// Cooperative cancellation: when the flag flips true, workers stop
+    /// claiming tasks and the pass returns [`RunStatus::Interrupted`]
+    /// with every completed point checkpointed — the same resumable
+    /// state a budget expiry leaves. The campaign service uses this for
+    /// client cancels, per-job timeouts, and drain-on-shutdown.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Shared prepare cache: when set, job runtimes are built through it
+    /// (single-flight, bounded), so concurrent campaigns naming the same
+    /// (workload × backend × scale × executor-config) cell pay transpile
+    /// + golden + baseline once.
+    pub runtime_cache: Option<Arc<RuntimeCache>>,
+}
+
+impl RunOptions {
+    fn cancel_requested(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::SeqCst))
+    }
 }
 
 /// Whether the campaign ran to completion.
@@ -83,7 +103,7 @@ pub struct RunSummary {
 }
 
 struct PreparedJob {
-    runtime: JobRuntime,
+    runtime: Arc<JobRuntime>,
     meta: JobMeta,
     pending: Vec<InjectionPoint>,
     append_lock: Mutex<()>,
@@ -114,7 +134,10 @@ pub fn run_campaign(
     let mut points_resumed = 0usize;
     for (idx, spec) in specs.iter().enumerate() {
         let job_span = qufi_obs::span("job.prepare_ns");
-        let runtime = JobRuntime::prepare(manifest, spec)?;
+        let runtime = match &opts.runtime_cache {
+            Some(cache) => crate::job::prepare_cached(cache, manifest, spec)?,
+            None => Arc::new(JobRuntime::prepare(manifest, spec)?),
+        };
         job_span.finish();
         let meta = match store.load_meta(&spec.id())? {
             Some(stored) => {
@@ -201,6 +224,10 @@ pub fn run_campaign(
                     if stopped.load(Ordering::SeqCst) || first_error.lock().is_some() {
                         break;
                     }
+                    if opts.cancel_requested() {
+                        stopped.store(true, Ordering::SeqCst);
+                        break;
+                    }
                     // Claim budget before running so an exhausted budget
                     // never executes (and never checkpoints) extra work.
                     if executed.fetch_add(1, Ordering::SeqCst) >= budget {
@@ -218,6 +245,9 @@ pub fn run_campaign(
                                 break;
                             }
                             drop(guard);
+                            // Chaos site: abort *after* a durable append —
+                            // the crash-recovery tests' mid-campaign kill.
+                            crate::chaos::kill_point("runner.append");
                             let done = job.done.fetch_add(1, Ordering::SeqCst) + 1;
                             if !opts.quiet {
                                 report_progress(&job.meta, done);
@@ -476,6 +506,60 @@ mod tests {
         assert_eq!(second.points_resumed, 2);
         assert!(second.jobs.iter().all(JobOutcome::is_complete));
         let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cancel_interrupts_and_leaves_a_resumable_checkpoint() {
+        let dir = temp_dir("cancel");
+        let m = manifest(1);
+        let cancel = Arc::new(AtomicBool::new(true)); // pre-canceled
+        let first = run_campaign(
+            &m,
+            &dir,
+            &RunOptions {
+                quiet: true,
+                cancel: Some(Arc::clone(&cancel)),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(first.status, RunStatus::Interrupted);
+        assert_eq!(first.points_run, 0, "canceled before any claim");
+        // Clearing the flag resumes to completion from the checkpoint.
+        cancel.store(false, Ordering::SeqCst);
+        let second = run_campaign(
+            &m,
+            &dir,
+            &RunOptions {
+                quiet: true,
+                cancel: Some(cancel),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(second.status, RunStatus::Complete);
+        assert!(second.jobs.iter().all(JobOutcome::is_complete));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn shared_runtime_cache_prepares_each_cell_once() {
+        let dir_a = temp_dir("cache-a");
+        let dir_b = temp_dir("cache-b");
+        let m = manifest(1);
+        let cache = Arc::new(RuntimeCache::new(8));
+        let opts = RunOptions {
+            quiet: true,
+            runtime_cache: Some(Arc::clone(&cache)),
+            ..RunOptions::default()
+        };
+        run_campaign(&m, &dir_a, &opts).unwrap();
+        run_campaign(&m, &dir_b, &opts).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one prepare for two campaigns");
+        assert_eq!(stats.hits, 1);
+        let _ = fs::remove_dir_all(dir_a);
+        let _ = fs::remove_dir_all(dir_b);
     }
 
     #[test]

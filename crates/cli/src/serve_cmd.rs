@@ -1,0 +1,142 @@
+//! `qufi serve`: the campaign daemon, wired to the real checkpointed
+//! runner. The daemon machinery (protocol, durable queue, backpressure,
+//! supervision, drain) lives in [`qufi_serve`]; this module supplies the
+//! [`JobHandler`] that turns an accepted manifest into a
+//! [`run_to_completion`] call — which means service jobs inherit every
+//! batch-mode guarantee: checkpoint-resumable interruption, and exports
+//! byte-identical to an uninterrupted `qufi run`.
+
+use crate::error::CliError;
+use crate::job::RuntimeCache;
+use crate::manifest::Manifest;
+use crate::runner::{RunOptions, RunStatus};
+use crate::{chaos, run_to_completion};
+use qufi_core::CacheCounters;
+use qufi_serve::{Config, HandlerOutcome, JobHandler, Server};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Prepared job runtimes kept warm across tenants.
+const RUNTIME_CACHE_CAP: usize = 16;
+
+/// Invocation knobs for the daemon (the `qufi serve` flag surface).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (port 0 = ephemeral, published in `serve.addr`).
+    pub addr: String,
+    /// Service state directory.
+    pub dir: PathBuf,
+    /// Worker threads running campaigns.
+    pub workers: usize,
+    /// Admission-queue bound.
+    pub queue_cap: usize,
+    /// Per-job wall-clock timeout in milliseconds (`None` = unbounded).
+    pub job_timeout_ms: Option<u64>,
+    /// Per-campaign thread override (passed through to the runner).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7077".to_string(),
+            dir: PathBuf::from("qufi-serve"),
+            workers: 2,
+            queue_cap: 64,
+            job_timeout_ms: None,
+            threads: None,
+        }
+    }
+}
+
+/// The real-campaign handler: canonicalizes through the manifest
+/// parser (so submissions content-address by *meaning*, not by
+/// whitespace) and runs through the checkpointed runner with the
+/// daemon's shared prepare cache and the job's cancel flag.
+pub struct CampaignHandler {
+    runtime_cache: Arc<RuntimeCache>,
+    threads: Option<usize>,
+}
+
+impl CampaignHandler {
+    /// A handler with a fresh shared prepare cache.
+    #[must_use]
+    pub fn new(threads: Option<usize>) -> CampaignHandler {
+        CampaignHandler {
+            runtime_cache: Arc::new(RuntimeCache::new(RUNTIME_CACHE_CAP).instrumented(
+                CacheCounters {
+                    hits: "serve.cache.hits",
+                    misses: "serve.cache.misses",
+                    evictions: "serve.cache.evictions",
+                    waits: "serve.cache.waits",
+                },
+            )),
+            threads,
+        }
+    }
+}
+
+impl JobHandler for CampaignHandler {
+    fn canonicalize(&self, manifest: &str) -> Result<(String, String), String> {
+        let parsed = Manifest::from_toml(manifest).map_err(|e| e.to_string())?;
+        Ok((parsed.to_toml(), parsed.name.clone()))
+    }
+
+    fn run(
+        &self,
+        manifest: &str,
+        dir: &Path,
+        cancel: &Arc<AtomicBool>,
+    ) -> Result<HandlerOutcome, String> {
+        // Chaos sites bracketing the campaign: the crash-recovery e2e
+        // kills the daemon here (and mid-run via `runner.append`).
+        chaos::kill_point("serve.job.pre_run");
+        let parsed = Manifest::from_toml(manifest).map_err(|e| e.to_string())?;
+        let opts = RunOptions {
+            threads: self.threads,
+            quiet: true, // worker progress would interleave across jobs
+            cancel: Some(Arc::clone(cancel)),
+            runtime_cache: Some(Arc::clone(&self.runtime_cache)),
+            ..RunOptions::default()
+        };
+        let outcome = run_to_completion(&parsed, dir, &opts).map_err(|e| e.to_string())?;
+        chaos::kill_point("serve.job.post_run");
+        Ok(match outcome.summary.status {
+            RunStatus::Complete => HandlerOutcome::Complete,
+            RunStatus::Interrupted => HandlerOutcome::Stopped,
+        })
+    }
+}
+
+/// Runs the daemon until a client's `shutdown` op drains it.
+///
+/// The process-wide telemetry recorder stays enabled for the daemon's
+/// lifetime (`serve.*` counters, runner phase spans, prepare-cache
+/// hits); the final snapshot lands in `<dir>/metrics.json` at drain.
+/// Individual jobs run with per-run telemetry off — their `results/`
+/// artifacts are byte-identical either way.
+///
+/// # Errors
+///
+/// Bind and state-directory failures.
+pub fn serve(opts: &ServeOptions) -> Result<(), CliError> {
+    qufi_obs::reset();
+    qufi_obs::enable();
+    let cfg = Config {
+        addr: opts.addr.clone(),
+        dir: opts.dir.clone(),
+        workers: opts.workers,
+        queue_cap: opts.queue_cap,
+        job_timeout: opts.job_timeout_ms.map(Duration::from_millis),
+        ..Config::default()
+    };
+    let dir = cfg.dir.clone();
+    let handler = Arc::new(CampaignHandler::new(opts.threads));
+    let server = Server::start(cfg, handler)
+        .map_err(|e| CliError::io("starting campaign daemon", &dir, e))?;
+    server
+        .wait()
+        .map_err(|e| CliError::io("draining campaign daemon", &dir, e))
+}

@@ -192,6 +192,12 @@ fn render_slowest_points(out: &mut String, mut costs: Vec<CostRecord>, top_k: us
 /// An unreadable `dir`. Individual broken runs render as one error line
 /// each instead of failing the listing.
 pub fn render_runs(dir: &Path) -> Result<String, CliError> {
+    // A `qufi serve` state directory renders as a job-queue report:
+    // every submitted job with its queue state, plus per-job checkpoint
+    // progress for the campaigns that have started.
+    if let Some(report) = render_serve_dir(dir)? {
+        return Ok(report);
+    }
     let mut run_dirs = Vec::new();
     if dir.join(STORED_MANIFEST).is_file() {
         run_dirs.push(dir.to_path_buf());
@@ -223,6 +229,87 @@ pub fn render_runs(dir: &Path) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Renders a `qufi serve` state directory: one line per submitted job
+/// with its queue state (queued/running/done/canceled/failed/poisoned),
+/// checkpoint progress of its campaign directory, and the last error
+/// for jobs accumulating strikes. Returns `None` when `dir` is not a
+/// service directory (no `jobs/` record store).
+fn render_serve_dir(dir: &Path) -> Result<Option<String>, CliError> {
+    if !dir.join("jobs").is_dir() {
+        return Ok(None);
+    }
+    let store = qufi_serve::store::Store::open(dir)
+        .map_err(|e| CliError::io("opening service job store", dir, e))?;
+    let (records, skipped) = store
+        .load_all()
+        .map_err(|e| CliError::io("listing service jobs", dir, e))?;
+    if records.is_empty() && skipped == 0 && !dir.join("serve.addr").is_file() {
+        // A stray `jobs/` subdirectory with no records and no published
+        // address is not a service directory; fall through to the
+        // ordinary campaign listing.
+        return Ok(None);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "service directory {} ({} job(s))",
+        dir.display(),
+        records.len()
+    );
+    let name_width = records.iter().map(|r| r.name.len()).max().unwrap_or(0);
+    for r in &records {
+        let progress = match campaign_points(&store.job_dir(&r.id)) {
+            Some((done, total)) => format!("{done:>4}/{total:<4} points"),
+            None => format!("{:>4}/{:<4} points", "-", "-"),
+        };
+        let mut notes = String::new();
+        if r.fails > 0 {
+            let _ = write!(notes, "  {} strike(s)", r.fails);
+        }
+        if let Some(err) = &r.error {
+            let first_line = err.lines().next().unwrap_or("");
+            let _ = write!(notes, "  last error: {first_line}");
+        }
+        let _ = writeln!(
+            out,
+            "  [{:<8}] {}  {:<name_width$}  {progress}{notes}",
+            r.state.as_str(),
+            r.id,
+            r.name
+        );
+    }
+    if skipped > 0 {
+        let _ = writeln!(out, "  note: {skipped} unreadable job record(s) skipped");
+    }
+    Ok(Some(out))
+}
+
+/// Checkpoint progress of one service job's campaign directory:
+/// `(complete, total)` points summed over its job matrix. `None` when
+/// the campaign has not started yet (no stored manifest) or its
+/// artifacts are unreadable — the listing shows `-/-` rather than
+/// failing the whole report.
+fn campaign_points(run_dir: &Path) -> Option<(usize, usize)> {
+    if !run_dir.join(STORED_MANIFEST).is_file() {
+        return None;
+    }
+    let manifest = load_stored_manifest(run_dir).ok()?;
+    let grid = manifest.grid.to_grid().ok()?;
+    let store = CheckpointStore::open(run_dir).ok()?;
+    let mut done = 0usize;
+    let mut total = 0usize;
+    for spec in job_matrix(&manifest) {
+        let id = spec.id();
+        if let Ok(Some(meta)) = store.load_meta(&id) {
+            total += meta.points_total;
+            if let Ok(records) = store.load_records(&id) {
+                done += crate::runner::complete_points(&records, &grid).len();
+            }
+        }
+    }
+    Some((done, total))
 }
 
 fn render_one_run(run_dir: &Path) -> Result<String, CliError> {
@@ -309,6 +396,77 @@ mod tests {
         let _ = std::fs::create_dir_all(&dir);
         let err = render_stats(&dir, 5).unwrap_err().to_string();
         assert!(err.contains("no metrics.json"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_dir_lists_job_states_and_progress() {
+        use qufi_serve::store::Store;
+        use qufi_serve::{JobRecord, JobState};
+
+        let dir = std::env::temp_dir().join(format!("qufi-list-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = Store::open(&dir).unwrap();
+
+        // One finished job with a real campaign directory behind it...
+        let toml = "[campaign]\n\
+                    name = \"svc\"\n\
+                    executor = \"ideal\"\n\
+                    workloads = [\"ghz-2\"]\n\
+                    [grid]\n\
+                    thetas = [0.0]\n\
+                    phis = [0.0]\n";
+        let manifest = crate::Manifest::from_toml(toml).unwrap();
+        let canonical = manifest.to_toml();
+        let id = qufi_serve::job_id(&canonical);
+        crate::run_to_completion(
+            &manifest,
+            &store.job_dir(&id),
+            &crate::RunOptions {
+                quiet: true,
+                ..crate::RunOptions::default()
+            },
+        )
+        .unwrap();
+        store
+            .save(&JobRecord {
+                id,
+                name: "svc".to_string(),
+                state: JobState::Done,
+                manifest: canonical,
+                fails: 0,
+                error: None,
+                seq: 1,
+            })
+            .unwrap();
+        // ...and one still queued, with no campaign directory yet.
+        store
+            .save(&JobRecord {
+                id: "jdeadbeefdeadbeef".to_string(),
+                name: "pending".to_string(),
+                state: JobState::Queued,
+                manifest: String::new(),
+                fails: 2,
+                error: Some("transient\nsecond line".to_string()),
+                seq: 2,
+            })
+            .unwrap();
+
+        let report = render_runs(&dir).unwrap();
+        assert!(report.contains("service directory"), "{report}");
+        assert!(report.contains("[done    ]"), "{report}");
+        assert!(report.contains("[queued  ]"), "{report}");
+        // The finished job shows real checkpoint progress; the queued
+        // one shows a placeholder, its strikes, and only the first
+        // error line.
+        let done_line = report.lines().find(|l| l.contains("svc")).unwrap();
+        assert!(!done_line.contains("-/-"), "{report}");
+        let queued_line = report.lines().find(|l| l.contains("pending")).unwrap();
+        assert!(queued_line.contains("-/-"), "{report}");
+        assert!(queued_line.contains("2 strike(s)"), "{report}");
+        assert!(queued_line.contains("last error: transient"), "{report}");
+        assert!(!queued_line.contains("second line"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

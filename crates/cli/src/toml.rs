@@ -147,7 +147,7 @@ pub fn parse(text: &str) -> Result<Document, TomlError> {
             value_text.push(' ');
             value_text.push_str(strip_comment(next).trim());
         }
-        let value = parse_value(&value_text, lineno)?;
+        let value = parse_value(&value_text, lineno, 0)?;
         let table = doc.entry(current.clone()).or_default();
         if table.insert(key.clone(), value).is_some() {
             return Err(err(lineno, format!("duplicate key {key:?}")));
@@ -156,18 +156,29 @@ pub fn parse(text: &str) -> Result<Document, TomlError> {
     Ok(doc)
 }
 
-fn parse_value(text: &str, line: usize) -> Result<Value, TomlError> {
+/// Array-nesting bound. `parse_value` recurses once per nesting level,
+/// so without a cap a hostile `[[[[…]]]]` input overflows the stack;
+/// real manifests only ever use flat arrays.
+const MAX_ARRAY_DEPTH: usize = 32;
+
+fn parse_value(text: &str, line: usize, depth: usize) -> Result<Value, TomlError> {
     let text = text.trim();
     if text.is_empty() {
         return Err(err(line, "missing value"));
     }
     if let Some(body) = text.strip_prefix('[') {
+        if depth >= MAX_ARRAY_DEPTH {
+            return Err(err(
+                line,
+                format!("arrays nested deeper than {MAX_ARRAY_DEPTH} levels"),
+            ));
+        }
         let body = body
             .strip_suffix(']')
             .ok_or_else(|| err(line, "unterminated array"))?;
         let mut items = Vec::new();
         for piece in split_array_items(body, line)? {
-            items.push(parse_value(&piece, line)?);
+            items.push(parse_value(&piece, line, depth + 1)?);
         }
         return Ok(Value::Array(items));
     }
@@ -392,6 +403,24 @@ scales = [0.5, 1.0, 2]
             .unwrap_err()
             .reason
             .contains("duplicate"));
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_a_stack_overflow() {
+        let mut s = String::from("a = ");
+        for _ in 0..100_000 {
+            s.push('[');
+        }
+        for _ in 0..100_000 {
+            s.push(']');
+        }
+        s.push('\n');
+        let e = parse(&s).unwrap_err();
+        assert!(e.reason.contains("nested deeper"), "{e}");
+        // At the boundary: 32 levels parse, 33 do not.
+        let nested = |n: usize| format!("a = {}1{}\n", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&nested(MAX_ARRAY_DEPTH)).is_ok());
+        assert!(parse(&nested(MAX_ARRAY_DEPTH + 1)).is_err());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Fuzz-hardening for the manifest pipeline. The daemon's submit path
+//! feeds client-supplied bytes straight into [`Manifest::from_toml`],
+//! so the whole parser stack — TOML subset, schema validation, grid
+//! expansion — must hold one property under arbitrary input: return
+//! `Ok` or a structured [`ManifestIssue`], **never panic** (a panic in
+//! a daemon worker burns a strike; in the batch CLI it's a crash).
+//!
+//! Three generators probe different depths:
+//!
+//! 1. arbitrary bytes (lossy-decoded) — the outermost parser surface,
+//! 2. token soup assembled from TOML fragments — reaches the value and
+//!    array grammar far more often than raw bytes do,
+//! 3. byte-level mutations of a valid manifest — reaches schema
+//!    validation (names, ranges, grids) with near-valid inputs.
+
+use proptest::prelude::*;
+use qufi_cli::Manifest;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A manifest exercising every section and key, used as mutation seed.
+const SEED_MANIFEST: &str = r#"[campaign]
+name = "fuzz-seed"
+seed = 7
+threads = 2
+executor = "hardware"
+shots = 256
+drift = 0.05
+workloads = ["bv-4", "ghz-3"]
+backends = ["jakarta", "lima"]
+noise_scales = [0.5, 1.0]
+
+[grid]
+thetas = [0.0, 1.5707963267948966]
+phis = [0.0, 3.141592653589793]
+"#;
+
+#[test]
+fn seed_manifest_is_valid() {
+    Manifest::from_toml(SEED_MANIFEST).unwrap();
+}
+
+/// The fuzz property: parsing `text` either succeeds or yields a typed
+/// manifest issue; unwinding is a bug.
+fn structured_or_ok(text: &str) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| Manifest::from_toml(text).err())) {
+        Ok(None) => Ok(()),
+        Ok(Some(e)) => match e.as_manifest_issue() {
+            Some(_) => Ok(()),
+            None => Err(format!("unstructured error {e:?} for input {text:?}")),
+        },
+        Err(_) => Err(format!("parser panicked on input {text:?}")),
+    }
+}
+
+/// TOML fragments whose combinations reach the grammar's edge cases:
+/// headers, escapes, nesting, comments, numeric oddities, unicode.
+const TOKENS: &[&str] = &[
+    "[campaign]",
+    "[grid]",
+    "[[t]]",
+    "[",
+    "]",
+    ",",
+    "=",
+    "\"",
+    "\\",
+    "\\\"",
+    "name",
+    "seed",
+    "workloads",
+    "thetas",
+    "preset",
+    "\"bv-4\"",
+    "true",
+    "false",
+    "0.5",
+    "1e309",
+    "-",
+    "_",
+    "1_0_0",
+    "inf",
+    "nan",
+    "#c",
+    "\n",
+    " ",
+    "\t",
+    "\u{0}",
+    "𝛉",
+    "é",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes — whatever a confused (or hostile) client sends.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(structured_or_ok(&text).is_ok(), "{:?}", structured_or_ok(&text));
+    }
+
+    /// TOML-shaped token soup — syntactically dense garbage that
+    /// reaches string escapes, array splitting, and section handling.
+    #[test]
+    fn token_soup_never_panics(ids in prop::collection::vec(0usize..TOKENS.len(), 0..48)) {
+        let text: String = ids.iter().map(|&i| TOKENS[i]).collect();
+        prop_assert!(structured_or_ok(&text).is_ok(), "{:?}", structured_or_ok(&text));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// Byte-level mutations of a valid manifest — near-valid inputs
+    /// that reach schema validation rather than dying at the tokenizer.
+    /// Ops: 0 = flip a byte, 1 = insert a byte, 2 = delete a byte,
+    /// 3 = truncate, 4 = duplicate a line, 5 = delete a line.
+    #[test]
+    fn mutated_manifests_never_panic(
+        ops in prop::collection::vec((0usize..6, 0usize..4096, 0u8..=255), 1..8),
+    ) {
+        let mut bytes = SEED_MANIFEST.as_bytes().to_vec();
+        for &(op, pos, byte) in &ops {
+            if bytes.is_empty() {
+                break;
+            }
+            let pos = pos % bytes.len();
+            match op {
+                0 => bytes[pos] = byte,
+                1 => bytes.insert(pos, byte),
+                2 => {
+                    bytes.remove(pos);
+                }
+                3 => bytes.truncate(pos),
+                4 | 5 => {
+                    let text = String::from_utf8_lossy(&bytes).into_owned();
+                    let mut lines: Vec<&str> = text.lines().collect();
+                    if lines.is_empty() {
+                        break;
+                    }
+                    let idx = pos % lines.len();
+                    if op == 4 {
+                        lines.insert(idx, lines[idx]);
+                    } else {
+                        lines.remove(idx);
+                    }
+                    bytes = lines.join("\n").into_bytes();
+                    bytes.push(b'\n');
+                }
+                _ => unreachable!(),
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(structured_or_ok(&text).is_ok(), "{:?}", structured_or_ok(&text));
+    }
+}
+
+/// Deterministic regressions for inputs the fuzz generators flagged (or
+/// that are too structured for them to hit reliably).
+#[test]
+fn known_hostile_inputs_yield_structured_issues() {
+    let deep = format!("a = {}{}\n", "[".repeat(50_000), "]".repeat(50_000));
+    let cases: Vec<String> = vec![
+        deep,                                                           // recursion bomb (depth-capped)
+        "a = [\n".to_string(),              // unterminated multi-line array
+        "a = \"\\q\"\n".to_string(),        // unsupported escape
+        "a = \"unterminated\n".to_string(), // unterminated string
+        "a = 1e309\n".to_string(),          // float overflow → inf
+        "a = nan\n".to_string(),            // NaN literal
+        "a = --5\n".to_string(),            // bad integer
+        "[campaign]\nshots = 99999999999999999999999999\n".to_string(), // i64 overflow
+        "\u{0}\u{fffd}[campaign\u{0}]\n".to_string(), // control chars in header
+        "[campaign]\nname = \"..\"\n".to_string(), // path-escape name
+    ];
+    for text in &cases {
+        structured_or_ok(text).unwrap();
+        assert!(
+            Manifest::from_toml(text).is_err(),
+            "expected a rejection for {text:?}"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! End-to-end daemon smoke: the real `qufi serve` binary, killed
+//! mid-campaign and restarted, must finish every submitted job with
+//! `results/` bytes identical to a batch `qufi run` of the same
+//! manifest — the service inherits the batch determinism contract.
+//! Plus the failure-model surface: overload shedding under a flood,
+//! health under load, and a clean drain.
+
+use qufi_obs::json::Value;
+use qufi_serve::client::Client;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_qufi");
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Two small campaigns with distinct shapes (and therefore distinct
+/// content addresses). Enough injection points between them that a
+/// `runner.append` chaos kill is guaranteed to land mid-run.
+const CAMPAIGN_A: &str = r#"[campaign]
+name = "svc-a"
+executor = "ideal"
+workloads = ["ghz-2"]
+
+[grid]
+thetas = [0.0, 0.7853981633974483, 1.5707963267948966]
+phis = [0.0, 3.141592653589793]
+"#;
+
+const CAMPAIGN_B: &str = r#"[campaign]
+name = "svc-b"
+executor = "ideal"
+workloads = ["bv-4"]
+
+[grid]
+thetas = [0.0, 1.5707963267948966]
+phis = [0.0, 3.141592653589793]
+"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qufi-serve-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every file under `root`, keyed by relative path.
+fn tree(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.insert(rel, fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(root, root, &mut out);
+    out
+}
+
+/// Batch-runs `manifest` into a fresh directory and returns the
+/// directory — the byte-identity reference for the service run.
+fn batch_golden(tag: &str, manifest: &str) -> PathBuf {
+    let dir = temp_dir(&format!("golden-{tag}"));
+    fs::create_dir_all(&dir).unwrap();
+    let manifest_path = dir.join("campaign.toml");
+    fs::write(&manifest_path, manifest).unwrap();
+    let out_dir = dir.join("run");
+    let out = Command::new(BIN)
+        .arg("run")
+        .arg(&manifest_path)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "batch golden run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out_dir
+}
+
+fn spawn_daemon(dir: &Path, workers: &str, queue: &str, env: &[(&str, &str)]) -> Child {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--out"])
+        .arg(dir)
+        .args(["--workers", workers, "--queue", queue])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().unwrap()
+}
+
+/// Polls `<dir>/serve.addr` until the daemon answers a health probe.
+/// Tolerates the restart window where the file still names the dead
+/// instance's port.
+fn connect(dir: &Path, deadline: Duration) -> Client {
+    let end = Instant::now() + deadline;
+    loop {
+        if let Ok(addr) = fs::read_to_string(dir.join("serve.addr")) {
+            if let Ok(mut c) = Client::connect(addr.trim(), IO_TIMEOUT) {
+                if c.health()
+                    .is_ok_and(|v| v.get("ok") == Some(&Value::Bool(true)))
+                {
+                    return c;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < end,
+            "daemon did not become healthy within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn ok(reply: &Value) -> bool {
+    reply.get("ok") == Some(&Value::Bool(true))
+}
+
+fn error_kind(reply: &Value) -> &str {
+    reply
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Value::as_str)
+        .unwrap_or("")
+}
+
+/// Submits and returns the job id, asserting admission.
+fn submit_ok(c: &mut Client, manifest: &str) -> String {
+    let reply = c.submit(manifest).unwrap();
+    assert!(ok(&reply), "submit rejected: {reply:?}");
+    reply.get("job").unwrap().as_str().unwrap().to_string()
+}
+
+/// The headline scenario: two concurrent campaigns, the daemon killed
+/// deterministically mid-checkpoint-append, a clean restart that
+/// recovers the durable queue (idempotent resubmission covers a job the
+/// crash may have raced out of admission), and `results/` trees
+/// byte-identical to batch goldens.
+#[test]
+fn crash_mid_run_recovers_to_batch_identical_exports() {
+    let golden_a = batch_golden("a", CAMPAIGN_A);
+    let golden_b = batch_golden("b", CAMPAIGN_B);
+
+    let dir = temp_dir("crash");
+    // Doomed instance: dies on the 6th checkpoint append, mid-campaign
+    // by construction (the two jobs append 6 + 4 points).
+    let mut doomed = spawn_daemon(&dir, "2", "16", &[("QUFI_CHAOS_KILL", "runner.append:6")]);
+    {
+        let mut c = connect(&dir, Duration::from_secs(20));
+        // The daemon may crash concurrently with these round-trips, so
+        // admission here is best-effort; the restart resubmits.
+        let _ = c.submit(CAMPAIGN_A);
+        let _ = c.submit(CAMPAIGN_B);
+    }
+    let status = doomed.wait().unwrap();
+    assert!(
+        !status.success(),
+        "chaos kill at runner.append should have crashed the daemon"
+    );
+
+    // Clean restart on the same state directory: recovery re-admits the
+    // persisted queue; resubmission is idempotent (`deduped` for any job
+    // that survived) and re-admits anything the crash raced out.
+    let mut daemon = spawn_daemon(&dir, "2", "16", &[]);
+    let mut c = connect(&dir, Duration::from_secs(20));
+    let id_a = submit_ok(&mut c, CAMPAIGN_A);
+    let id_b = submit_ok(&mut c, CAMPAIGN_B);
+    assert_ne!(id_a, id_b, "distinct campaigns must content-address apart");
+
+    for id in [&id_a, &id_b] {
+        let reply = c
+            .wait_for(id, &["done", "failed", "poisoned"], Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(
+            reply.get("state").unwrap().as_str(),
+            Some("done"),
+            "job {id} did not finish cleanly: {reply:?}"
+        );
+    }
+
+    // Byte-identity against the batch goldens.
+    for (id, golden, tag) in [(&id_a, &golden_a, "A"), (&id_b, &golden_b, "B")] {
+        let produced = tree(&dir.join("jobs").join(id).join("results"));
+        let expected = tree(&golden.join("results"));
+        assert_eq!(
+            expected.keys().collect::<Vec<_>>(),
+            produced.keys().collect::<Vec<_>>(),
+            "campaign {tag}: artifact set diverged"
+        );
+        for (rel, bytes) in &expected {
+            assert_eq!(
+                bytes, &produced[rel],
+                "campaign {tag}: {rel} diverged from the batch golden"
+            );
+        }
+    }
+
+    // Graceful drain: exit 0, metrics snapshot persisted.
+    assert!(ok(&c.shutdown(true).unwrap()));
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "drained daemon must exit 0");
+    assert!(dir.join("metrics.json").is_file());
+
+    let _ = fs::remove_dir_all(dir);
+    let _ = fs::remove_dir_all(golden_a.parent().unwrap());
+    let _ = fs::remove_dir_all(golden_b.parent().unwrap());
+}
+
+/// Overload behavior under a submission flood: with one worker and a
+/// 2-slot queue, a long-running blocker plus rapid distinct submissions
+/// must shed at least one with a structured `overloaded` rejection —
+/// while health stays responsive and shutdown still drains cleanly.
+#[test]
+fn flood_sheds_overloaded_and_drains_clean() {
+    let dir = temp_dir("flood");
+    let mut daemon = spawn_daemon(&dir, "1", "2", &[]);
+    let mut c = connect(&dir, Duration::from_secs(20));
+
+    // Occupies the single worker while the flood arrives: a noisy
+    // 5-qubit sweep pays the full density-replay cost per point, so it
+    // runs orders of magnitude longer than the sub-millisecond flood.
+    let blocker = r#"[campaign]
+name = "blocker"
+executor = "noisy"
+workloads = ["ghz-5"]
+backends = ["lima"]
+
+[grid]
+thetas = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5]
+phis = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5]
+"#;
+    submit_ok(&mut c, blocker);
+
+    let mut admitted = 0usize;
+    let mut shed = 0usize;
+    for i in 0..9 {
+        let manifest = format!(
+            "[campaign]\nname = \"flood-{i}\"\nexecutor = \"ideal\"\n\
+             workloads = [\"ghz-2\"]\n\n[grid]\nthetas = [0.{i}]\nphis = [0.0]\n"
+        );
+        let reply = c.submit(&manifest).unwrap();
+        if ok(&reply) {
+            admitted += 1;
+        } else {
+            assert_eq!(
+                error_kind(&reply),
+                "overloaded",
+                "unexpected rejection: {reply:?}"
+            );
+            shed += 1;
+        }
+    }
+    assert!(
+        shed >= 1,
+        "a 9-submission flood against queue_cap=2 must shed (admitted {admitted}; list: {:?})",
+        c.list().unwrap()
+    );
+
+    // Health answers even at full load, with a structured snapshot.
+    let health = c.health().unwrap();
+    assert!(ok(&health), "{health:?}");
+    assert!(health.get("queued").unwrap().as_u64().is_some());
+
+    // Drain finishes the admitted jobs and exits 0.
+    assert!(ok(&c.shutdown(true).unwrap()));
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "drained daemon must exit 0");
+
+    let _ = fs::remove_dir_all(dir);
+}

@@ -17,6 +17,7 @@
 //! an `O(1/√shots)` statistical error instead of `4^n` memory.
 
 use crate::error::ExecError;
+use crate::prepare_cache::PrepareCache;
 use parking_lot::Mutex;
 use qufi_noise::{simulate, BackendCalibration, NoiseModel};
 use qufi_sim::circuit::Op;
@@ -24,7 +25,11 @@ use qufi_sim::{ProbDist, QuantumCircuit, Statevector};
 use qufi_transpile::{CouplingMap, OptimizationLevel, Transpiler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+
+/// Active-qubit subsets seen by one executor — small (one per distinct
+/// transpiled footprint), so the restricted-model cache never needs to
+/// evict in practice.
+const MODEL_CACHE_CAP: usize = 32;
 
 /// A backend able to run circuits and return output distributions.
 ///
@@ -108,8 +113,9 @@ pub(crate) fn compact_circuit(qc: &QuantumCircuit, active: &[usize]) -> QuantumC
 pub struct NoisyExecutor {
     calibration: BackendCalibration,
     transpiler: Transpiler,
-    /// Noise models per active-qubit set, built lazily.
-    model_cache: Mutex<HashMap<Vec<usize>, NoiseModel>>,
+    /// Noise models per active-qubit set, built lazily and shared
+    /// single-flight across threads.
+    model_cache: PrepareCache<Vec<usize>, NoiseModel>,
     label: String,
 }
 
@@ -126,7 +132,7 @@ impl NoisyExecutor {
         NoisyExecutor {
             transpiler: Transpiler::new(coupling, level),
             calibration,
-            model_cache: Mutex::new(HashMap::new()),
+            model_cache: PrepareCache::new(MODEL_CACHE_CAP),
             label,
         }
     }
@@ -142,11 +148,10 @@ impl NoisyExecutor {
     }
 
     pub(crate) fn model_for(&self, active: &[usize]) -> NoiseModel {
-        let mut cache = self.model_cache.lock();
-        cache
-            .entry(active.to_vec())
-            .or_insert_with(|| self.calibration.restrict(active).noise_model())
-            .clone()
+        (*self.model_cache.get_or_build(&active.to_vec(), || {
+            self.calibration.restrict(active).noise_model()
+        }))
+        .clone()
     }
 }
 
@@ -274,8 +279,9 @@ impl Executor for HardwareExecutor {
 pub struct TrajectoryExecutor {
     calibration: BackendCalibration,
     transpiler: Transpiler,
-    /// Noise models per active-qubit set, built lazily.
-    model_cache: Mutex<HashMap<Vec<usize>, NoiseModel>>,
+    /// Noise models per active-qubit set, built lazily and shared
+    /// single-flight across threads.
+    model_cache: PrepareCache<Vec<usize>, NoiseModel>,
     shots: u64,
     seed: u64,
     label: String,
@@ -299,7 +305,7 @@ impl TrajectoryExecutor {
         TrajectoryExecutor {
             transpiler: Transpiler::new(coupling, OptimizationLevel::Level3),
             calibration,
-            model_cache: Mutex::new(HashMap::new()),
+            model_cache: PrepareCache::new(MODEL_CACHE_CAP),
             shots,
             seed,
             label,
@@ -326,11 +332,10 @@ impl TrajectoryExecutor {
     }
 
     pub(crate) fn model_for(&self, active: &[usize]) -> NoiseModel {
-        let mut cache = self.model_cache.lock();
-        cache
-            .entry(active.to_vec())
-            .or_insert_with(|| self.calibration.restrict(active).noise_model())
-            .clone()
+        (*self.model_cache.get_or_build(&active.to_vec(), || {
+            self.calibration.restrict(active).noise_model()
+        }))
+        .clone()
     }
 }
 

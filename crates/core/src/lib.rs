@@ -62,7 +62,9 @@ pub mod executor;
 pub mod fault;
 pub mod mapping;
 pub mod metrics;
+pub mod prepare_cache;
 pub mod report;
+pub mod retry;
 pub mod serialize;
 pub mod shard;
 pub mod sweep;
@@ -81,6 +83,8 @@ pub use fault::{
 };
 pub use mapping::{qubit_reliability, reliability_aware_layout, QubitReliability};
 pub use metrics::{michelson_contrast, qvf, qvf_from_dist, Severity};
+pub use prepare_cache::{CacheCounters, CacheStats, PrepareCache};
+pub use retry::Backoff;
 
 /// Convenient glob-import surface.
 pub mod prelude {

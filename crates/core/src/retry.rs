@@ -1,0 +1,85 @@
+//! Deterministic retry scheduling, shared by the shard workers'
+//! lease/claim retries and the campaign service's worker supervision.
+//!
+//! [`Backoff`] is capped exponential backoff whose jitter is *derived*,
+//! not sampled: every delay comes from the attempt number and a
+//! [`SeedHasher`] hash keyed on the caller-supplied string (worker,
+//! unit, attempt), so a given caller replays the identical schedule
+//! every run — no wall-clock RNG anywhere in the retry path.
+//!
+//! [`SeedHasher`]: crate::engine::SeedHasher
+
+use crate::engine::SeedHasher;
+use std::time::Duration;
+
+/// Capped exponential backoff with a deterministic, derived jitter —
+/// the retry schedule for transient failures.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempts_left: u32,
+    attempt: u32,
+    seed: u64,
+}
+
+impl Backoff {
+    /// A schedule of `max_attempts` delays starting at `base`, doubling,
+    /// capped at `cap`, jittered by a hash of (`seed_key`, attempt).
+    pub fn new(base: Duration, cap: Duration, max_attempts: u32, seed_key: &str) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempts_left: max_attempts,
+            attempt: 0,
+            seed: SeedHasher::new().mix_bytes(seed_key.as_bytes()).finish(),
+        }
+    }
+
+    /// The next delay to sleep, or `None` when the budget is exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempts_left == 0 {
+            return None;
+        }
+        self.attempts_left -= 1;
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        // Jitter in [0, base): derived from the key and attempt number,
+        // so the schedule replays identically — never wall-clock RNG.
+        let jitter_ns = SeedHasher::new()
+            .mix_u64(self.seed)
+            .mix_u64(self.attempt as u64)
+            .finish()
+            % self.base.as_nanos().max(1) as u64;
+        self.attempt += 1;
+        Some(exp + Duration::from_nanos(jitter_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_key_and_capped() {
+        let collect = |key: &str| {
+            let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(40), 6, key);
+            std::iter::from_fn(move || b.next_delay()).collect::<Vec<_>>()
+        };
+        let a = collect("w1/unit-3");
+        assert_eq!(a, collect("w1/unit-3"), "same key replays identically");
+        assert_ne!(a, collect("w2/unit-3"), "different keys de-synchronize");
+        assert_eq!(a.len(), 6);
+        // Capped: exponential part never exceeds cap (+ jitter < base).
+        for d in &a {
+            assert!(*d < Duration::from_millis(45), "{d:?}");
+        }
+        // Exhausted budget yields None forever.
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(2), 1, "k");
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_none());
+        assert!(b.next_delay().is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! A small blocking protocol client — what the CLI's `qufi serve`
+//! helpers and the robustness tests speak through. One request per
+//! call: write a frame, read the one-line JSON reply.
+
+use qufi_obs::json::{self, Value};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to connect, reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Resolution, connect, or socket-option failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Request/response over tiny frames: Nagle + delayed ACK would
+        // add tens of milliseconds per round trip.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one raw frame (newline appended) and parses the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a closed connection, or an unparseable reply.
+    pub fn request_raw(&mut self, frame: &str) -> io::Result<Value> {
+        // One write per request: a separate newline write would sit in
+        // a second TCP segment behind the first one's delayed ACK.
+        let mut framed = String::with_capacity(frame.len() + 1);
+        framed.push_str(frame);
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes())?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        json::parse(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// `submit` — returns the reply object.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn submit(&mut self, manifest: &str) -> io::Result<Value> {
+        self.request_raw(&format!(
+            "{{\"op\":\"submit\",\"manifest\":{}}}",
+            json::quote(manifest)
+        ))
+    }
+
+    /// `status` for one job.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn status(&mut self, job: &str) -> io::Result<Value> {
+        self.request_raw(&format!(
+            "{{\"op\":\"status\",\"job\":{}}}",
+            json::quote(job)
+        ))
+    }
+
+    /// `cancel` for one job.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn cancel(&mut self, job: &str) -> io::Result<Value> {
+        self.request_raw(&format!(
+            "{{\"op\":\"cancel\",\"job\":{}}}",
+            json::quote(job)
+        ))
+    }
+
+    /// `list` all jobs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn list(&mut self) -> io::Result<Value> {
+        self.request_raw("{\"op\":\"list\"}")
+    }
+
+    /// `health` probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn health(&mut self) -> io::Result<Value> {
+        self.request_raw("{\"op\":\"health\"}")
+    }
+
+    /// `shutdown` (drain or now).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_raw`].
+    pub fn shutdown(&mut self, drain: bool) -> io::Result<Value> {
+        self.request_raw(&format!(
+            "{{\"op\":\"shutdown\",\"mode\":{}}}",
+            json::quote(if drain { "drain" } else { "now" })
+        ))
+    }
+
+    /// Polls `status` until the job reaches a state in `terminal` or
+    /// `deadline` elapses; returns the last reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a timeout with the job still live.
+    pub fn wait_for(
+        &mut self,
+        job: &str,
+        terminal: &[&str],
+        deadline: Duration,
+    ) -> io::Result<Value> {
+        let end = std::time::Instant::now() + deadline;
+        loop {
+            let reply = self.status(job)?;
+            let state = reply.get("state").and_then(Value::as_str).unwrap_or("");
+            if terminal.contains(&state) {
+                return Ok(reply);
+            }
+            if std::time::Instant::now() >= end {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {job} still {state:?} after {deadline:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+}

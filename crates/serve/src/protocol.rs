@@ -1,0 +1,235 @@
+//! The wire protocol: one JSON object per line, both directions.
+//!
+//! Requests name an `op`:
+//!
+//! ```json
+//! {"op":"submit","manifest":"[campaign]\n..."}
+//! {"op":"status","job":"j0123456789abcdef"}
+//! {"op":"cancel","job":"j0123456789abcdef"}
+//! {"op":"list"}
+//! {"op":"health"}
+//! {"op":"shutdown","mode":"drain"}
+//! ```
+//!
+//! Responses are `{"ok":true,...}` or a structured rejection
+//! `{"ok":false,"error":{"kind":"...","message":"..."}}`. Error kinds
+//! are a closed vocabulary clients can switch on:
+//!
+//! | kind               | meaning                                        |
+//! |--------------------|------------------------------------------------|
+//! | `bad_request`      | unparseable frame or unknown op (conn stays up)|
+//! | `too_large`        | frame exceeded the byte cap (conn closes)      |
+//! | `timeout`          | read deadline expired mid-frame (conn closes)  |
+//! | `overloaded`       | queue or connection bound hit — retry later    |
+//! | `draining`         | daemon is shutting down; not admitting         |
+//! | `invalid_manifest` | manifest failed validation                     |
+//! | `unknown_job`      | no such job id                                 |
+//! | `internal`         | daemon-side fault (counted, never a panic)     |
+
+use crate::store::JobRecord;
+use qufi_obs::json::{self, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit (or idempotently re-submit) a manifest.
+    Submit {
+        /// Manifest text (TOML, validated by the handler).
+        manifest: String,
+    },
+    /// Query one job.
+    Status {
+        /// Job id.
+        job: String,
+    },
+    /// Cancel one job (queued → canceled; running → cooperative stop).
+    Cancel {
+        /// Job id.
+        job: String,
+    },
+    /// Enumerate all known jobs.
+    List,
+    /// Daemon liveness + load snapshot. Must answer even at full load.
+    Health,
+    /// Stop the daemon. `drain` finishes in-flight work; `now`
+    /// checkpoints it.
+    Shutdown {
+        /// `true` = drain, `false` = now.
+        drain: bool,
+    },
+}
+
+/// Parses one request line. `Err` is a client-facing message for a
+/// `bad_request` rejection — parsing never panics, whatever the bytes.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing \"op\" field")?;
+    let field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("op {op:?} requires a string {name:?} field"))
+    };
+    match op {
+        "submit" => Ok(Request::Submit {
+            manifest: field("manifest")?,
+        }),
+        "status" => Ok(Request::Status { job: field("job")? }),
+        "cancel" => Ok(Request::Cancel { job: field("job")? }),
+        "list" => Ok(Request::List),
+        "health" => Ok(Request::Health),
+        "shutdown" => {
+            let mode = v.get("mode").and_then(Value::as_str).unwrap_or("drain");
+            match mode {
+                "drain" => Ok(Request::Shutdown { drain: true }),
+                "now" => Ok(Request::Shutdown { drain: false }),
+                other => Err(format!("unknown shutdown mode {other:?}")),
+            }
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// A structured rejection (`{"ok":false,...}`) ready for the wire.
+#[must_use]
+pub fn error(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{{\"kind\":{},\"message\":{}}}}}\n",
+        json::quote(kind),
+        json::quote(message),
+    )
+}
+
+fn job_fields(record: &JobRecord) -> String {
+    let error = match &record.error {
+        Some(e) => json::quote(e),
+        None => "null".to_string(),
+    };
+    format!(
+        "\"job\":{},\"name\":{},\"state\":{},\"fails\":{},\"error\":{}",
+        json::quote(&record.id),
+        json::quote(&record.name),
+        json::quote(record.state.as_str()),
+        record.fails,
+        error,
+    )
+}
+
+/// Submission acknowledged. `deduped` marks an idempotent hit on an
+/// existing job.
+#[must_use]
+pub fn ok_submit(record: &JobRecord, deduped: bool) -> String {
+    format!(
+        "{{\"ok\":true,{},\"deduped\":{deduped}}}\n",
+        job_fields(record)
+    )
+}
+
+/// One job's state.
+#[must_use]
+pub fn ok_job(record: &JobRecord) -> String {
+    format!("{{\"ok\":true,{}}}\n", job_fields(record))
+}
+
+/// Every known job, in admission order.
+#[must_use]
+pub fn ok_list(records: &[JobRecord]) -> String {
+    let jobs: Vec<String> = records
+        .iter()
+        .map(|r| format!("{{{}}}", job_fields(r)))
+        .collect();
+    format!("{{\"ok\":true,\"jobs\":[{}]}}\n", jobs.join(","))
+}
+
+/// Load snapshot for `health`.
+#[must_use]
+pub fn ok_health(
+    state: &str,
+    queued: usize,
+    running: usize,
+    done: usize,
+    queue_cap: usize,
+) -> String {
+    format!(
+        "{{\"ok\":true,\"state\":{},\"queued\":{queued},\"running\":{running},\
+         \"done\":{done},\"queue_cap\":{queue_cap}}}\n",
+        json::quote(state),
+    )
+}
+
+/// Shutdown acknowledged.
+#[must_use]
+pub fn ok_shutdown(drain: bool) -> String {
+    format!(
+        "{{\"ok\":true,\"mode\":{}}}\n",
+        json::quote(if drain { "drain" } else { "now" })
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::JobState;
+
+    #[test]
+    fn requests_parse_and_reject_structurally() {
+        assert_eq!(
+            parse_request("{\"op\":\"submit\",\"manifest\":\"m\"}").unwrap(),
+            Request::Submit {
+                manifest: "m".to_string()
+            }
+        );
+        assert_eq!(parse_request("{\"op\":\"list\"}").unwrap(), Request::List);
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown { drain: true }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\",\"mode\":\"now\"}").unwrap(),
+            Request::Shutdown { drain: false }
+        );
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"op\":\"nope\"}",
+            "{\"op\":\"status\"}",
+            "{\"op\":\"submit\",\"manifest\":7}",
+            "{\"op\":\"shutdown\",\"mode\":\"later\"}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let r = JobRecord {
+            id: "j1".into(),
+            name: "n\"ewline\n".into(),
+            state: JobState::Running,
+            manifest: String::new(),
+            fails: 2,
+            error: Some("e".into()),
+            seq: 0,
+        };
+        for text in [
+            ok_submit(&r, true),
+            ok_job(&r),
+            ok_list(std::slice::from_ref(&r)),
+            ok_health("running", 1, 2, 3, 64),
+            ok_shutdown(false),
+            error("overloaded", "queue full"),
+        ] {
+            assert!(text.ends_with('\n'));
+            assert_eq!(text.trim_end().lines().count(), 1, "{text:?}");
+            let v = qufi_obs::json::parse(text.trim()).expect(&text);
+            assert!(v.get("ok").is_some());
+        }
+        let v = qufi_obs::json::parse(ok_job(&r).trim()).unwrap();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("running"));
+        assert_eq!(v.get("fails").unwrap().as_u64(), Some(2));
+    }
+}

@@ -1,0 +1,403 @@
+//! The daemon's shared state machine: the bounded admission queue, the
+//! job table, the running set with per-job cancel flags, and the drain
+//! protocol. One mutex guards it all — every operation here is a few
+//! map lookups plus at most one small atomic file write, so the lock is
+//! never held across campaign work or socket I/O.
+
+use crate::protocol;
+use crate::store::{JobRecord, JobState, Store};
+use crate::{job_id, Config, JobHandler};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Why a running job's cancel flag was flipped — decides its terminal
+/// state when the handler returns `Stopped`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StopCause {
+    /// A client asked; the job ends `canceled`.
+    Client,
+    /// The wall-clock watchdog fired; the job ends `failed`.
+    Timeout,
+    /// Shutdown-now; the job goes back to `queued` (persisted, not
+    /// re-admitted — the next daemon start resumes it).
+    Drain,
+}
+
+struct RunningJob {
+    cancel: Arc<AtomicBool>,
+    cause: Option<StopCause>,
+}
+
+pub(crate) struct Inner {
+    jobs: HashMap<String, JobRecord>,
+    queue: VecDeque<String>,
+    running: HashMap<String, RunningJob>,
+    draining: bool,
+    next_seq: u64,
+    conns: usize,
+}
+
+/// How a worker's attempt at a job ended.
+pub(crate) enum Finish {
+    /// Handler completed the campaign.
+    Done,
+    /// Handler stopped on the cancel flag.
+    Stopped,
+    /// Handler errored or panicked.
+    Failed(String),
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: Config,
+    pub(crate) store: Store,
+    pub(crate) handler: Arc<dyn JobHandler>,
+    inner: Mutex<Inner>,
+    /// Signals queue arrivals and drain to idle workers.
+    work: Condvar,
+}
+
+impl Shared {
+    /// Builds the state and replays the durable store: every job that
+    /// was queued or mid-run when the last daemon died is re-admitted,
+    /// in original submission order.
+    pub(crate) fn recover(cfg: Config, store: Store, handler: Arc<dyn JobHandler>) -> Shared {
+        let (records, skipped) = store.load_all().unwrap_or((Vec::new(), 0));
+        if skipped > 0 {
+            qufi_obs::add("serve.store.skipped", skipped as u64);
+            qufi_obs::log::warn(&format!(
+                "serve: skipped {skipped} unreadable job record(s)"
+            ));
+        }
+        let mut jobs = HashMap::new();
+        let mut queue = VecDeque::new();
+        let mut next_seq = 0u64;
+        let mut recovered = 0u64;
+        for mut record in records {
+            next_seq = next_seq.max(record.seq + 1);
+            if matches!(record.state, JobState::Queued | JobState::Running) {
+                if record.state == JobState::Running {
+                    // The previous daemon died mid-run; its checkpoints
+                    // make the re-run a resume, not a restart.
+                    record.state = JobState::Queued;
+                    let _ = store.save(&record);
+                }
+                queue.push_back(record.id.clone());
+                recovered += 1;
+            }
+            jobs.insert(record.id.clone(), record);
+        }
+        if recovered > 0 {
+            qufi_obs::add("serve.jobs.recovered", recovered);
+            qufi_obs::log::info(&format!("serve: re-admitted {recovered} job(s) from disk"));
+        }
+        Shared {
+            cfg,
+            store,
+            handler,
+            inner: Mutex::new(Inner {
+                jobs,
+                queue,
+                running: HashMap::new(),
+                draining: false,
+                next_seq,
+                conns: 0,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // ---- client operations (each returns a wire-ready response line) ----
+
+    /// Submit: canonicalize → content-address → dedup or admit.
+    pub(crate) fn submit(&self, manifest: &str) -> String {
+        let (canonical, name) = match self.handler.canonicalize(manifest) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                qufi_obs::add("serve.submit.rejected", 1);
+                return protocol::error("invalid_manifest", &msg);
+            }
+        };
+        let id = job_id(&canonical);
+        let mut inner = self.lock();
+        if inner.draining {
+            return protocol::error("draining", "daemon is shutting down; not admitting jobs");
+        }
+        if let Some(record) = inner.jobs.get(&id) {
+            // Terminal-but-retryable states re-enqueue on explicit
+            // resubmission; everything else is an idempotent hit.
+            if matches!(record.state, JobState::Canceled | JobState::Failed) {
+                if inner.queue.len() >= self.cfg.queue_cap {
+                    qufi_obs::add("serve.submit.shed", 1);
+                    return protocol::error("overloaded", "admission queue is full; retry later");
+                }
+                let record = inner.jobs.get_mut(&id).expect("present");
+                record.state = JobState::Queued;
+                record.fails = 0;
+                record.error = None;
+                if let Err(e) = self.store.save(record) {
+                    return protocol::error("internal", &format!("persist failed: {e}"));
+                }
+                let response = protocol::ok_submit(record, false);
+                inner.queue.push_back(id);
+                qufi_obs::add("serve.submit.readmitted", 1);
+                drop(inner);
+                self.work.notify_one();
+                return response;
+            }
+            qufi_obs::add("serve.submit.deduped", 1);
+            return protocol::ok_submit(record, true);
+        }
+        if inner.queue.len() >= self.cfg.queue_cap {
+            qufi_obs::add("serve.submit.shed", 1);
+            return protocol::error("overloaded", "admission queue is full; retry later");
+        }
+        let record = JobRecord {
+            id: id.clone(),
+            name,
+            state: JobState::Queued,
+            manifest: canonical,
+            fails: 0,
+            error: None,
+            seq: inner.next_seq,
+        };
+        // Durability before acknowledgment: the client's `ok` means the
+        // job survives a daemon crash from this point on.
+        if let Err(e) = self.store.save(&record) {
+            return protocol::error("internal", &format!("persist failed: {e}"));
+        }
+        inner.next_seq += 1;
+        let response = protocol::ok_submit(&record, false);
+        inner.jobs.insert(id.clone(), record);
+        inner.queue.push_back(id);
+        qufi_obs::add("serve.submit.accepted", 1);
+        drop(inner);
+        self.work.notify_one();
+        response
+    }
+
+    pub(crate) fn status(&self, job: &str) -> String {
+        match self.lock().jobs.get(job) {
+            Some(record) => protocol::ok_job(record),
+            None => protocol::error("unknown_job", &format!("no job {job:?}")),
+        }
+    }
+
+    pub(crate) fn list(&self) -> String {
+        let inner = self.lock();
+        let mut records: Vec<JobRecord> = inner.jobs.values().cloned().collect();
+        records.sort_by_key(|r| r.seq);
+        protocol::ok_list(&records)
+    }
+
+    /// Cancel: a queued job is withdrawn immediately; a running job is
+    /// stopped cooperatively (poll `status` to watch it land on
+    /// `canceled`); terminal jobs are a no-op.
+    pub(crate) fn cancel(&self, job: &str) -> String {
+        let mut inner = self.lock();
+        let Some(record) = inner.jobs.get(job).cloned() else {
+            return protocol::error("unknown_job", &format!("no job {job:?}"));
+        };
+        match record.state {
+            JobState::Queued => {
+                inner.queue.retain(|id| id != job);
+                let record = inner.jobs.get_mut(job).expect("present");
+                record.state = JobState::Canceled;
+                let _ = self.store.save(record);
+                qufi_obs::add("serve.jobs.canceled", 1);
+                protocol::ok_job(record)
+            }
+            JobState::Running => {
+                if let Some(running) = inner.running.get_mut(job) {
+                    if running.cause.is_none() {
+                        running.cause = Some(StopCause::Client);
+                    }
+                    running.cancel.store(true, Ordering::SeqCst);
+                }
+                protocol::ok_job(&record)
+            }
+            _ => protocol::ok_job(&record),
+        }
+    }
+
+    pub(crate) fn health(&self) -> String {
+        let inner = self.lock();
+        let done = inner
+            .jobs
+            .values()
+            .filter(|r| r.state == JobState::Done)
+            .count();
+        protocol::ok_health(
+            if inner.draining {
+                "draining"
+            } else {
+                "running"
+            },
+            inner.queue.len(),
+            inner.running.len(),
+            done,
+            self.cfg.queue_cap,
+        )
+    }
+
+    /// Shutdown: flips draining (idle workers exit, admissions refuse).
+    /// `drain = false` additionally cancels running jobs with the
+    /// `Drain` cause, so they checkpoint and return to `queued`.
+    pub(crate) fn shutdown(&self, drain: bool) -> String {
+        let mut inner = self.lock();
+        inner.draining = true;
+        if !drain {
+            for running in inner.running.values_mut() {
+                if running.cause.is_none() {
+                    running.cause = Some(StopCause::Drain);
+                }
+                running.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        drop(inner);
+        self.work.notify_all();
+        protocol::ok_shutdown(drain)
+    }
+
+    // ---- worker-side operations ----
+
+    /// Blocks until a job is available (returned with its fresh cancel
+    /// flag) or the daemon is draining (`None` — the worker exits;
+    /// still-queued jobs stay persisted for the next start).
+    pub(crate) fn next_job(&self) -> Option<(JobRecord, Arc<AtomicBool>)> {
+        let mut inner = self.lock();
+        loop {
+            if inner.draining {
+                return None;
+            }
+            if let Some(id) = inner.queue.pop_front() {
+                let record = inner.jobs.get_mut(&id).expect("queued job has a record");
+                record.state = JobState::Running;
+                let _ = self.store.save(record);
+                let record = record.clone();
+                let cancel = Arc::new(AtomicBool::new(false));
+                inner.running.insert(
+                    id,
+                    RunningJob {
+                        cancel: Arc::clone(&cancel),
+                        cause: None,
+                    },
+                );
+                return Some((record, cancel));
+            }
+            inner = self.work.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The wall-clock watchdog's trigger: flips the job's cancel flag
+    /// with the `Timeout` cause (unless a client got there first).
+    pub(crate) fn flag_timeout(&self, job: &str) {
+        let mut inner = self.lock();
+        if let Some(running) = inner.running.get_mut(job) {
+            if running.cause.is_none() {
+                running.cause = Some(StopCause::Timeout);
+            }
+            running.cancel.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Records the outcome of one attempt and persists the new state.
+    /// Returns `Some(strike_count)` when the job should be retried after
+    /// backoff — the caller sleeps, then calls [`Shared::readmit`].
+    pub(crate) fn finish_job(&self, job: &str, finish: Finish) -> Option<u32> {
+        let mut inner = self.lock();
+        let cause = inner.running.remove(job).and_then(|r| r.cause);
+        let max_strikes = self.cfg.max_strikes;
+        let record = inner.jobs.get_mut(job).expect("running job has a record");
+        let mut retry = None;
+        match finish {
+            Finish::Done => {
+                record.state = JobState::Done;
+                record.error = None;
+                qufi_obs::add("serve.jobs.done", 1);
+            }
+            Finish::Stopped => match cause {
+                Some(StopCause::Client) => {
+                    record.state = JobState::Canceled;
+                    qufi_obs::add("serve.jobs.canceled", 1);
+                }
+                Some(StopCause::Timeout) => {
+                    record.state = JobState::Failed;
+                    record.error = Some("wall-clock timeout; checkpoints kept".to_string());
+                    qufi_obs::add("serve.jobs.timeout", 1);
+                }
+                // Drain (or a spurious stop): back to the durable queue,
+                // but not the in-memory one — we are exiting.
+                Some(StopCause::Drain) | None => {
+                    record.state = JobState::Queued;
+                    qufi_obs::add("serve.jobs.drained", 1);
+                }
+            },
+            Finish::Failed(message) => {
+                record.fails += 1;
+                record.error = Some(message);
+                if record.fails >= max_strikes {
+                    record.state = JobState::Poisoned;
+                    qufi_obs::add("serve.jobs.poisoned", 1);
+                    qufi_obs::log::warn(&format!(
+                        "serve: job {} poisoned after {} strikes",
+                        record.id, record.fails
+                    ));
+                } else {
+                    record.state = JobState::Queued;
+                    retry = Some(record.fails);
+                    qufi_obs::add("serve.jobs.retried", 1);
+                }
+            }
+        }
+        let _ = self.store.save(record);
+        drop(inner);
+        // Wake drain-waiters (and siblings) to re-check the world.
+        self.work.notify_all();
+        retry
+    }
+
+    /// Puts a backed-off job back on the in-memory queue (no-op while
+    /// draining — the durable record already says `queued`).
+    pub(crate) fn readmit(&self, job: &str) {
+        let mut inner = self.lock();
+        if !inner.draining
+            && inner
+                .jobs
+                .get(job)
+                .is_some_and(|r| r.state == JobState::Queued)
+            && !inner.queue.iter().any(|id| id == job)
+        {
+            inner.queue.push_back(job.to_string());
+            drop(inner);
+            self.work.notify_one();
+        }
+    }
+
+    // ---- connection accounting and lifecycle flags ----
+
+    /// Admits a connection against the bound; `false` = shed it.
+    pub(crate) fn conn_acquire(&self) -> bool {
+        let mut inner = self.lock();
+        if inner.conns >= self.cfg.conn_cap {
+            qufi_obs::add("serve.conn.shed", 1);
+            false
+        } else {
+            inner.conns += 1;
+            qufi_obs::add("serve.conn.accepted", 1);
+            true
+        }
+    }
+
+    pub(crate) fn conn_release(&self) {
+        self.lock().conns -= 1;
+    }
+
+    pub(crate) fn draining(&self) -> bool {
+        self.lock().draining
+    }
+}

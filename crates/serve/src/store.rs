@@ -1,0 +1,265 @@
+//! Durable job records: one JSON file per job under `<dir>/jobs/`,
+//! written atomically (tmp + rename, optional fsync via `QUFI_FSYNC=1`
+//! — the same durability knob the checkpoint store honors). The record
+//! is the daemon's recovery unit: a restarted daemon rebuilds its whole
+//! queue from these files, in submission order, and the campaign
+//! directory next to each record carries the checkpoints that make the
+//! resumed run byte-identical.
+
+use qufi_obs::json::{self, Value};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Lifecycle of a job. `Queued` and `Running` are the live states a
+/// restart re-admits; the rest are terminal (though `Canceled` and
+/// `Failed` re-enqueue on explicit resubmission — only `Poisoned` stays
+/// quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted and waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Ran to completion; artifacts exported.
+    Done,
+    /// Canceled by a client; checkpoints resumable.
+    Canceled,
+    /// Failed terminally (e.g. wall-clock timeout); checkpoints kept.
+    Failed,
+    /// Quarantined after repeated failures; never auto-retried.
+    Poisoned,
+}
+
+impl JobState {
+    /// Wire/storage keyword.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Canceled => "canceled",
+            JobState::Failed => "failed",
+            JobState::Poisoned => "poisoned",
+        }
+    }
+
+    /// Inverse of [`JobState::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "canceled" => JobState::Canceled,
+            "failed" => JobState::Failed,
+            "poisoned" => JobState::Poisoned,
+            _ => return None,
+        })
+    }
+}
+
+/// One job's durable state. Everything the daemon needs to resume or
+/// explain the job lives here; the campaign's own checkpoints live in
+/// the job directory next to the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Content address of the canonical manifest ([`crate::job_id`]).
+    pub id: String,
+    /// Human display name (from the manifest).
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// The canonical manifest text (what the handler runs).
+    pub manifest: String,
+    /// Failure strikes accumulated toward quarantine.
+    pub fails: u32,
+    /// Last failure message, if any.
+    pub error: Option<String>,
+    /// Admission order — recovery re-enqueues ascending.
+    pub seq: u64,
+}
+
+impl JobRecord {
+    fn to_json(&self) -> String {
+        let error = match &self.error {
+            Some(e) => json::quote(e),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"id\":{},\"name\":{},\"state\":{},\"manifest\":{},\"fails\":{},\"error\":{},\"seq\":{}}}\n",
+            json::quote(&self.id),
+            json::quote(&self.name),
+            json::quote(self.state.as_str()),
+            json::quote(&self.manifest),
+            self.fails,
+            error,
+            self.seq,
+        )
+    }
+
+    fn from_json(v: &Value) -> Option<JobRecord> {
+        Some(JobRecord {
+            id: v.get("id")?.as_str()?.to_string(),
+            name: v.get("name")?.as_str()?.to_string(),
+            state: JobState::parse(v.get("state")?.as_str()?)?,
+            manifest: v.get("manifest")?.as_str()?.to_string(),
+            fails: v.get("fails")?.as_u64()? as u32,
+            error: match v.get("error") {
+                Some(Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            },
+            seq: v.get("seq")?.as_u64()?,
+        })
+    }
+}
+
+/// The record directory. All writes are atomic; a crash between any two
+/// syscalls leaves either the old record or the new one, never a torn
+/// file.
+#[derive(Debug)]
+pub struct Store {
+    jobs_dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store under the service directory.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn open(service_dir: &Path) -> io::Result<Store> {
+        let jobs_dir = service_dir.join("jobs");
+        fs::create_dir_all(&jobs_dir)?;
+        Ok(Store { jobs_dir })
+    }
+
+    /// The campaign directory for a job (the handler's working dir).
+    #[must_use]
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.jobs_dir.join(id)
+    }
+
+    /// Persists one record atomically.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn save(&self, record: &JobRecord) -> io::Result<()> {
+        let path = self.jobs_dir.join(format!("{}.json", record.id));
+        atomic_write(&path, record.to_json().as_bytes())
+    }
+
+    /// Loads every parseable record, sorted by admission order. Files
+    /// that fail to parse are skipped (counted by the caller via the
+    /// returned skip count) — a half-corrupted store must not brick the
+    /// daemon.
+    ///
+    /// # Errors
+    ///
+    /// Directory enumeration failures.
+    pub fn load_all(&self) -> io::Result<(Vec<JobRecord>, usize)> {
+        let mut records = Vec::new();
+        let mut skipped = 0usize;
+        for entry in fs::read_dir(&self.jobs_dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let parsed = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| json::parse(text.trim()).ok())
+                .and_then(|v| JobRecord::from_json(&v));
+            match parsed {
+                Some(r) => records.push(r),
+                None => skipped += 1,
+            }
+        }
+        records.sort_by_key(|r| r.seq);
+        Ok((records, skipped))
+    }
+}
+
+/// Write-then-rename, with optional fsync under `QUFI_FSYNC=1` — the
+/// same recipe (and knob) as the CLI's checkpoint writes, re-stated
+/// here because depending on the CLI would invert the crate stack.
+pub(crate) fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        if std::env::var_os("QUFI_FSYNC").is_some_and(|v| v == "1") {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qufi-serve-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(id: &str, seq: u64, state: JobState) -> JobRecord {
+        JobRecord {
+            id: id.to_string(),
+            name: "demo".to_string(),
+            state,
+            manifest: "[campaign]\nname = \"demo\"\n".to_string(),
+            fails: 1,
+            error: Some("boom \"quoted\"\nline2".to_string()),
+            seq,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_in_seq_order() {
+        let dir = temp_dir("roundtrip");
+        let store = Store::open(&dir).unwrap();
+        store.save(&record("b", 2, JobState::Running)).unwrap();
+        store.save(&record("a", 1, JobState::Done)).unwrap();
+        let (loaded, skipped) = store.load_all().unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0], record("a", 1, JobState::Done));
+        assert_eq!(loaded[1], record("b", 2, JobState::Running));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_records_are_skipped_not_fatal() {
+        let dir = temp_dir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        store.save(&record("ok", 1, JobState::Queued)).unwrap();
+        fs::write(dir.join("jobs").join("bad.json"), b"{torn").unwrap();
+        let (loaded, skipped) = store.load_all().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(skipped, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn states_round_trip_keywords() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Canceled,
+            JobState::Failed,
+            JobState::Poisoned,
+        ] {
+            assert_eq!(JobState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobState::parse("zombie"), None);
+    }
+}
