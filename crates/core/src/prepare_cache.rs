@@ -62,6 +62,33 @@ enum Slot<V> {
     Ready(Arc<V>),
 }
 
+/// Unwind insurance for the builder: if `build()` panics, the
+/// `Building` slot must be cleared and waiters woken — otherwise every
+/// thread parked on the condvar for that key blocks forever. Armed
+/// between claiming the slot and `build()` returning; a normal return
+/// (Ok *or* Err) disarms it and lets the caller's own cleanup run.
+struct BuildGuard<'a, K: Eq + Hash + Clone, V> {
+    cache: &'a PrepareCache<K, V>,
+    key: Option<K>,
+}
+
+impl<K: Eq + Hash + Clone, V> BuildGuard<'_, K, V> {
+    fn disarm(&mut self) {
+        self.key = None;
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for BuildGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut inner = self.cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.map.remove(&key);
+            drop(inner);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
 struct Inner<K, V> {
     map: HashMap<K, Slot<V>>,
     /// Ready keys in insertion order — the eviction queue.
@@ -147,8 +174,15 @@ impl<K: Eq + Hash + Clone, V> PrepareCache<K, V> {
             }
         }
         // Build outside the lock: prepare work is seconds-scale and other
-        // keys must stay servable meanwhile.
+        // keys must stay servable meanwhile. The guard makes a builder
+        // panic behave like a build error (slot cleared, waiters woken)
+        // instead of wedging every waiter on the condvar.
+        let mut guard = BuildGuard {
+            cache: self,
+            key: Some(key.clone()),
+        };
         let built = build();
+        guard.disarm();
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let result = match built {
             Ok(value) => {
@@ -262,6 +296,40 @@ mod tests {
         // The slot cleared: the next caller builds (successfully) anew.
         let v = cache.get_or_try_build(&1, || Ok::<u32, &str>(5)).unwrap();
         assert_eq!(*v, 5);
+    }
+
+    #[test]
+    fn builder_panic_clears_the_slot_and_wakes_waiters() {
+        let cache: Arc<PrepareCache<u8, u32>> = Arc::new(PrepareCache::new(2));
+        let entered = Arc::new(std::sync::Barrier::new(2));
+        let panicker = {
+            let cache = Arc::clone(&cache);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_build(&9, || {
+                        entered.wait();
+                        // Give the waiter time to park on the condvar.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("builder bug")
+                    })
+                }));
+            })
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                entered.wait();
+                // Must not hang: the panicked build clears the slot and
+                // this caller becomes the (successful) builder.
+                *cache.get_or_build(&9, || 7)
+            })
+        };
+        panicker.join().unwrap();
+        assert_eq!(waiter.join().unwrap(), 7);
+        // The key stays fully serviceable afterwards.
+        assert_eq!(*cache.get_or_build(&9, || 99), 7);
     }
 
     #[test]

@@ -142,7 +142,10 @@ pub trait JobHandler: Send + Sync + 'static {
 
 /// Content address of a canonical manifest: FNV-1a (the workspace's
 /// [`SeedHasher`](qufi_core::engine::SeedHasher)) over its bytes,
-/// rendered as a filesystem-safe id.
+/// rendered as a filesystem-safe id. FNV is not collision-resistant,
+/// so the daemon never trusts the id alone: a submission whose id hits
+/// an existing job with *different* canonical text is rejected as a
+/// collision rather than deduped onto another tenant's job.
 #[must_use]
 pub fn job_id(canonical_manifest: &str) -> String {
     let h = qufi_core::engine::SeedHasher::new()

@@ -123,13 +123,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     continue;
                 }
                 let conn_shared = Arc::clone(shared);
-                let _ = thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name("qufi-serve-conn".to_string())
                     .spawn(move || {
                         handle_conn(stream, &conn_shared);
                         conn_shared.conn_release();
                         qufi_obs::flush();
                     });
+                if let Err(e) = spawned {
+                    // Spawn failure (EAGAIN under resource exhaustion)
+                    // drops the closure — and the stream with it. The
+                    // slot must come back or conn_cap leaks away one
+                    // failure at a time until the daemon sheds everyone.
+                    shared.conn_release();
+                    qufi_obs::add("serve.conn.spawn_failed", 1);
+                    qufi_obs::log::warn(&format!("serve: connection thread spawn failed: {e}"));
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(_) => thread::sleep(ACCEPT_POLL),

@@ -127,22 +127,39 @@ impl Shared {
         if inner.draining {
             return protocol::error("draining", "daemon is shutting down; not admitting jobs");
         }
-        if let Some(record) = inner.jobs.get(&id) {
+        if let Some(existing) = inner.jobs.get(&id).cloned() {
+            // The id is a 64-bit non-cryptographic hash; two *different*
+            // manifests colliding onto one id must not silently alias —
+            // that would hand this submitter another tenant's job (and
+            // its job_dir). Dedup only when the stored canonical text
+            // matches byte-for-byte.
+            if existing.manifest != canonical {
+                qufi_obs::add("serve.submit.collision", 1);
+                qufi_obs::log::error(&format!("serve: job-id collision on {id}"));
+                return protocol::error(
+                    "internal",
+                    "job id collision: a different manifest already owns this id",
+                );
+            }
             // Terminal-but-retryable states re-enqueue on explicit
             // resubmission; everything else is an idempotent hit.
-            if matches!(record.state, JobState::Canceled | JobState::Failed) {
+            if matches!(existing.state, JobState::Canceled | JobState::Failed) {
                 if inner.queue.len() >= self.cfg.queue_cap {
                     qufi_obs::add("serve.submit.shed", 1);
                     return protocol::error("overloaded", "admission queue is full; retry later");
                 }
-                let record = inner.jobs.get_mut(&id).expect("present");
-                record.state = JobState::Queued;
-                record.fails = 0;
-                record.error = None;
-                if let Err(e) = self.store.save(record) {
+                // Persist first, mutate in-memory state only on success
+                // — a failed save must not leave a `queued` record that
+                // was never enqueued (it would report queued forever).
+                let mut updated = existing;
+                updated.state = JobState::Queued;
+                updated.fails = 0;
+                updated.error = None;
+                if let Err(e) = self.store.save(&updated) {
                     return protocol::error("internal", &format!("persist failed: {e}"));
                 }
-                let response = protocol::ok_submit(record, false);
+                let response = protocol::ok_submit(&updated, false);
+                inner.jobs.insert(id.clone(), updated);
                 inner.queue.push_back(id);
                 qufi_obs::add("serve.submit.readmitted", 1);
                 drop(inner);
@@ -150,7 +167,7 @@ impl Shared {
                 return response;
             }
             qufi_obs::add("serve.submit.deduped", 1);
-            return protocol::ok_submit(record, true);
+            return protocol::ok_submit(&existing, true);
         }
         if inner.queue.len() >= self.cfg.queue_cap {
             qufi_obs::add("serve.submit.shed", 1);
@@ -312,8 +329,10 @@ impl Shared {
         let mut inner = self.lock();
         let cause = inner.running.remove(job).and_then(|r| r.cause);
         let max_strikes = self.cfg.max_strikes;
+        let draining = inner.draining;
         let record = inner.jobs.get_mut(job).expect("running job has a record");
         let mut retry = None;
+        let mut requeue = false;
         match finish {
             Finish::Done => {
                 record.state = JobState::Done;
@@ -330,11 +349,24 @@ impl Shared {
                     record.error = Some("wall-clock timeout; checkpoints kept".to_string());
                     qufi_obs::add("serve.jobs.timeout", 1);
                 }
-                // Drain (or a spurious stop): back to the durable queue,
-                // but not the in-memory one — we are exiting.
-                Some(StopCause::Drain) | None => {
+                // Drain: back to the durable queue, but not the
+                // in-memory one — we are exiting.
+                Some(StopCause::Drain) => {
                     record.state = JobState::Queued;
                     qufi_obs::add("serve.jobs.drained", 1);
+                }
+                // A stop nobody asked for (handler returned `Stopped`
+                // with the cancel flag untouched). Unless the daemon is
+                // actually exiting, the job must go back on the live
+                // queue too, or it reports `queued` until a restart.
+                None => {
+                    record.state = JobState::Queued;
+                    if draining {
+                        qufi_obs::add("serve.jobs.drained", 1);
+                    } else {
+                        requeue = true;
+                        qufi_obs::add("serve.jobs.requeued", 1);
+                    }
                 }
             },
             Finish::Failed(message) => {
@@ -355,6 +387,9 @@ impl Shared {
             }
         }
         let _ = self.store.save(record);
+        if requeue && !inner.queue.iter().any(|id| id == job) {
+            inner.queue.push_back(job.to_string());
+        }
         drop(inner);
         // Wake drain-waiters (and siblings) to re-check the world.
         self.work.notify_all();

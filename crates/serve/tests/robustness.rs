@@ -68,6 +68,16 @@ impl JobHandler for StubHandler {
         if manifest.lines().any(|l| l.trim() == "panic") {
             panic!("stub: told to panic");
         }
+        // A handler bug the daemon must absorb: report `Stopped` on the
+        // first attempt with the cancel flag untouched.
+        if manifest.lines().any(|l| l.trim() == "stop_once") {
+            let mut attempts = self.attempts.lock().unwrap();
+            let seen = attempts.entry(manifest.to_string()).or_insert(0);
+            *seen += 1;
+            if *seen == 1 {
+                return Ok(HandlerOutcome::Stopped);
+            }
+        }
         if let Some(n) = directive("fail=") {
             let mut attempts = self.attempts.lock().unwrap();
             let seen = attempts.entry(manifest.to_string()).or_insert(0);
@@ -364,6 +374,65 @@ fn transient_failures_retry_then_poison_after_three_strikes() {
     client
         .wait_for(&ok, &["done"], Duration::from_secs(5))
         .unwrap();
+    drain(server, &mut client);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn colliding_job_id_with_different_manifest_is_rejected_not_aliased() {
+    let cfg = config("collision");
+    let dir = cfg.dir.clone();
+    // Seed a finished job whose id is the content address of a DIFFERENT
+    // manifest — exactly what a 64-bit hash collision between two
+    // tenants' manifests would produce.
+    let victim_manifest = "name=victim\nsleep_ms=1";
+    let colliding_id = qufi_serve::job_id(victim_manifest);
+    {
+        let store = Store::open(&dir).unwrap();
+        store
+            .save(&qufi_serve::JobRecord {
+                id: colliding_id.clone(),
+                name: "innocent".to_string(),
+                state: JobState::Done,
+                manifest: "name=innocent\nsleep_ms=1".to_string(),
+                fails: 0,
+                error: None,
+                seq: 0,
+            })
+            .unwrap();
+    }
+    let (server, mut client) = start(cfg);
+    // Submitting the colliding manifest must NOT dedup onto the stored
+    // job (wrong tenant, shared job_dir) — it is a structured rejection.
+    let reply = client.submit(victim_manifest).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(str_field(reply.get("error").unwrap(), "kind"), "internal");
+    assert!(
+        str_field(reply.get("error").unwrap(), "message").contains("collision"),
+        "{reply:?}"
+    );
+    // The stored job is untouched and the daemon stays serviceable.
+    let status = client.status(&colliding_id).unwrap();
+    assert_eq!(str_field(&status, "state"), "done");
+    assert_eq!(str_field(&status, "name"), "innocent");
+    drain(server, &mut client);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn spurious_stop_requeues_the_job_instead_of_stranding_it() {
+    let mut cfg = config("spurious");
+    cfg.workers = 1;
+    let dir = cfg.dir.clone();
+    let (server, mut client) = start(cfg);
+    // The stub reports `Stopped` on attempt 1 with nobody having flipped
+    // the cancel flag; the daemon must put the job back on the live
+    // queue (not just the durable one) so attempt 2 completes.
+    let id = str_field(&client.submit("name=flaky\nstop_once").unwrap(), "job").to_string();
+    let settled = client
+        .wait_for(&id, &["done"], Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(str_field(&settled, "state"), "done");
     drain(server, &mut client);
     let _ = std::fs::remove_dir_all(dir);
 }
