@@ -154,6 +154,38 @@ fn bench_replay_grid(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched cell-major replay vs the scalar per-cell path on the same
+/// prepared bv-4/jakarta point — the BENCHMARKS.md "batched grid replay"
+/// numbers. The width is pinned via `QUFI_BATCH_CELLS` around each case;
+/// `scalar` is the retained per-cell path on the identical prepared
+/// snapshot, so the ratio isolates batching itself. Exports from both
+/// paths are bit-identical; only the wall clock moves.
+fn bench_replay_grid_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_grid_batched");
+    group.sample_size(10);
+    let w = bernstein_vazirani(0b101, 3);
+    let ex = NoisyExecutor::new(BackendCalibration::jakarta());
+    let points = enumerate_injection_points(&w.circuit);
+    let point = points[points.len() / 2];
+    let prepared = ex.prepare(&w.circuit, point).expect("prepare");
+    for (label, grid) in [
+        ("coarse", FaultGrid::coarse()),
+        ("paper312", FaultGrid::paper()),
+    ] {
+        group.bench_function(format!("bv4_{label}_scalar_t1"), |b| {
+            b.iter(|| prepared.replay_grid(&grid, 1).expect("grid replay"))
+        });
+        for width in [4usize, 8, 16] {
+            std::env::set_var("QUFI_BATCH_CELLS", width.to_string());
+            group.bench_function(format!("bv4_{label}_w{width}_t1"), |b| {
+                b.iter(|| prepared.replay_grid_batched(&grid, 1).expect("grid replay"))
+            });
+        }
+        std::env::remove_var("QUFI_BATCH_CELLS");
+    }
+    group.finish();
+}
+
 /// Telemetry overhead on the hot replay path (BENCHMARKS.md "phase
 /// attribution"). `disabled` is the default campaign configuration —
 /// every record call is one relaxed atomic load — and must match PR 5's
@@ -187,6 +219,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_statevector, bench_density, bench_pipeline, bench_sweep_engine,
-        bench_replay_grid, bench_obs_overhead
+        bench_replay_grid, bench_replay_grid_batched, bench_obs_overhead
 }
 criterion_main!(benches);

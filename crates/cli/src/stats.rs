@@ -142,6 +142,18 @@ fn render_counters(out: &mut String, snap: &Snapshot) {
     for (name, value) in &snap.counters {
         let _ = writeln!(out, "  {name:<30} {value:>12}");
     }
+    if let (Some(&cells), Some(&blocks)) = (
+        snap.counters.get("replay.batch.cells"),
+        snap.counters.get("replay.batch.blocks"),
+    ) {
+        if blocks > 0 {
+            let _ = writeln!(
+                out,
+                "  note: batched replay occupancy {:.1} cells/block over {blocks} block(s)",
+                cells as f64 / blocks as f64
+            );
+        }
+    }
     if let Some(&salvaged) = snap.counters.get("checkpoint.salvaged_lines") {
         if salvaged > 0 {
             let _ = writeln!(

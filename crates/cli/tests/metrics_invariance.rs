@@ -287,6 +287,55 @@ fn exports_are_byte_identical_with_metrics_on_off_and_any_thread_count() {
     }
 }
 
+/// The batched grid replay is a pure performance feature: every exported
+/// byte must be identical with batching off (`--no-batch`, i.e.
+/// `QUFI_BATCH_CELLS=1`) and on at any width, at any thread count. The
+/// metrics consistency checks (`replay.cells` = points × grid) must hold
+/// on both paths. Note the committed-golden check above already runs the
+/// batched default; this pins the width axis explicitly.
+#[test]
+fn exports_are_byte_identical_with_batching_on_and_off() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    for (tag, text) in [("noisy", NOISY), ("hardware", HARDWARE)] {
+        let manifest = Manifest::from_toml(text).unwrap();
+        std::env::set_var("QUFI_BATCH_CELLS", "1");
+        let reference = run_variant(
+            &manifest,
+            &format!("{tag}-nobatch"),
+            &Variant {
+                metrics: true,
+                trace: false,
+                threads: 1,
+            },
+        );
+        for (width, threads) in [("4", 1usize), ("8", 4), ("16", 2)] {
+            std::env::set_var("QUFI_BATCH_CELLS", width);
+            let other = run_variant(
+                &manifest,
+                &format!("{tag}-w{width}"),
+                &Variant {
+                    metrics: true,
+                    trace: false,
+                    threads,
+                },
+            );
+            assert_eq!(
+                reference.keys().collect::<Vec<_>>(),
+                other.keys().collect::<Vec<_>>(),
+                "{tag}: artifact set changed under batch width {width}"
+            );
+            for (path, bytes) in &reference {
+                assert_eq!(
+                    bytes, &other[path],
+                    "{tag}: {path} differs between --no-batch and batch \
+                     width {width} at {threads} thread(s)"
+                );
+            }
+        }
+        std::env::remove_var("QUFI_BATCH_CELLS");
+    }
+}
+
 /// Timing guard for the zero-overhead claim: with the recorder disabled,
 /// a counter bump plus a span open/close is one relaxed atomic load each
 /// — it must stay in the low tens of nanoseconds even on a loaded CI

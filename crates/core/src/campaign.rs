@@ -283,10 +283,13 @@ pub fn run_point_sweep<E: SweepExecutor + ?Sized>(
 }
 
 /// [`run_point_sweep`] with the grid fanned across `grid_threads` worker
-/// threads ([`crate::engine::PreparedSweep::replay_grid`]): the point is
-/// still prepared once; the 312 replays split into deterministic contiguous
-/// chunks. Records are identical — bit-for-bit, including sampling
-/// scenarios — for every `grid_threads` value.
+/// threads through the batched block engine
+/// ([`crate::engine::PreparedSweep::replay_grid_batched`]): the point is
+/// still prepared once; the 312 replays evolve in cell-major blocks (or
+/// fall back to per-cell replay where batching does not apply). Records
+/// are identical — bit-for-bit, including sampling scenarios — for every
+/// `grid_threads` value and every batch width, `QUFI_BATCH_CELLS=1`
+/// (the CLI's `--no-batch`) included.
 ///
 /// # Errors
 ///
@@ -303,7 +306,7 @@ pub fn run_point_sweep_parallel<E: SweepExecutor + ?Sized>(
     let prepared = executor.prepare(qc, point)?;
     let prepare_ns = prepare_span.finish();
     let replay_span = qufi_obs::span("point.replay_ns");
-    let dists = prepared.replay_grid(grid, grid_threads)?;
+    let dists = prepared.replay_grid_batched(grid, grid_threads)?;
     let replay_ns = replay_span.finish();
     qufi_obs::record_cost(
         point.op_index,

@@ -39,13 +39,16 @@ use crate::mapping::{
     extract_splice_sites, mark_double_injection_site, mark_injection_site, SpliceSite,
 };
 use parking_lot::Mutex;
+use qufi_math::CMatrix;
+use qufi_noise::readout::apply_readout_errors;
 use qufi_noise::simulate::{NoisePlan, NoisyCursor};
 use qufi_noise::trajectory::{
     finish_trajectory_dist, ShotAccumulator, TrajPlan, TrajWorkspace, TrajectoryCursor, SHOT_BLOCK,
 };
 use qufi_noise::NoiseModel;
 use qufi_sim::{
-    CircuitCursor, DensityMatrix, EvolvableState, Op, ProbDist, QuantumCircuit, Statevector,
+    BatchedDensity, BatchedStatevector, CircuitCursor, DensityMatrix, EvolvableState, Op, ProbDist,
+    QuantumCircuit, Statevector,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -190,6 +193,35 @@ pub trait PreparedSweep: Sync {
         replay_grid_chunked(self, grid, threads)
     }
 
+    /// Batched counterpart of [`PreparedSweep::replay_grid`]: evolves whole
+    /// blocks of grid cells in lockstep through the cell-major kernels of
+    /// [`qufi_sim::batch`], so each suffix gate's index arithmetic is
+    /// computed once per block and its inner loops run stride-1 across
+    /// cells. Cells are grouped by θ first, letting every θ-identical run
+    /// share one `sin/cos(θ/2)` evaluation of the injector.
+    ///
+    /// **Bit-identical** to [`PreparedSweep::replay_grid`] for every batch
+    /// width and thread count: a batched cell goes through exactly the
+    /// scalar per-cell operation sequence, and grouping only reorders which
+    /// cells evolve together — never the arithmetic inside one cell.
+    ///
+    /// The width is read from `QUFI_BATCH_CELLS` per call (default 16,
+    /// clamped to `1..=`[`qufi_sim::MAX_BATCH_CELLS`]). Width 1 — the CLI's
+    /// `--no-batch` — grids too small to batch, multi-site sweeps, and
+    /// scenarios without a batched path (trajectory) all take the scalar
+    /// per-cell fan-out instead.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PreparedSweep::replay_grid`].
+    fn replay_grid_batched(
+        &self,
+        grid: &FaultGrid,
+        threads: usize,
+    ) -> Result<Vec<ProbDist>, ExecError> {
+        replay_grid_scalar_fallback(self, grid, threads)
+    }
+
     /// Gates evolved once at preparation time (the shared prefix).
     fn prefix_gates(&self) -> usize;
 
@@ -281,6 +313,159 @@ fn replay_grid_chunked<S: PreparedSweep + ?Sized>(
         .collect())
 }
 
+/// Default number of grid cells evolved per batched block. 16 keeps the
+/// single-operand kernels (the bulk of a transpiled suffix) on their widest,
+/// fastest monomorphization; the 2q/generic kernels tile the cell axis
+/// internally, so a wide block never hurts them.
+const DEFAULT_BATCH_CELLS: usize = 16;
+
+/// Ceiling on `flat state length × batch width`: a batched block holds at
+/// most this many split-complex amplitudes (~64 MiB), shrinking the width
+/// for wide registers instead of ballooning memory.
+const MAX_BATCH_AMPS: usize = 1 << 22;
+
+/// Batch width for [`PreparedSweep::replay_grid_batched`], read per call
+/// so the CLI and tests can vary it (`QUFI_BATCH_CELLS`, clamped to
+/// `1..=`[`qufi_sim::MAX_BATCH_CELLS`]). Width 1 disables batching.
+fn batch_width() -> usize {
+    std::env::var("QUFI_BATCH_CELLS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|w| w.clamp(1, qufi_sim::MAX_BATCH_CELLS))
+        .unwrap_or(DEFAULT_BATCH_CELLS)
+}
+
+/// The effective width for a grid over states of `flat_len` amplitudes:
+/// the configured width, shrunk to the grid size and the amplitude
+/// budget. `None` means batching is off or pointless (width ≤ 1) — take
+/// the scalar path.
+fn effective_batch_width(flat_len: usize, grid_len: usize) -> Option<usize> {
+    let w = batch_width()
+        .min(grid_len)
+        .min(MAX_BATCH_AMPS / flat_len.max(1));
+    (w > 1).then_some(w)
+}
+
+/// The scalar fallback behind [`PreparedSweep::replay_grid_batched`]:
+/// counts the cells that bypassed batching, then runs the per-cell path.
+fn replay_grid_scalar_fallback<S: PreparedSweep + ?Sized>(
+    sweep: &S,
+    grid: &FaultGrid,
+    threads: usize,
+) -> Result<Vec<ProbDist>, ExecError> {
+    qufi_obs::add("replay.batch.scalar_fallback", grid.len() as u64);
+    sweep.replay_grid(grid, threads)
+}
+
+/// One injector matrix per cell of a θ-sorted block, hoisting the
+/// `sin/cos(θ/2)` pair across runs of θ-identical cells. Bit-identical to
+/// per-cell [`CMatrix::u_gate`] construction because `u_gate` delegates to
+/// [`CMatrix::u_gate_from_trig`].
+fn injector_matrices(faults: &[FaultParams]) -> Vec<CMatrix> {
+    let mut mats = Vec::with_capacity(faults.len());
+    let mut run: Option<(u64, (f64, f64))> = None;
+    for f in faults {
+        let bits = f.theta.to_bits();
+        let (s, c) = match run {
+            Some((b, sc)) if b == bits => sc,
+            _ => {
+                let sc = ((f.theta / 2.0).sin(), (f.theta / 2.0).cos());
+                run = Some((bits, sc));
+                sc
+            }
+        };
+        mats.push(CMatrix::u_gate_from_trig(s, c, f.phi, f.lambda));
+    }
+    mats
+}
+
+/// The deterministic fan-out behind the batched grid replays: cells are
+/// stably sorted by θ bit pattern (θ-identical cells share one trig
+/// evaluation and blocks stay maximally uniform), chunked into
+/// `width`-sized blocks — the ragged tail simply forms a narrower block —
+/// and blocks are handed to workers in contiguous ranges. Results scatter
+/// back to **grid order** by original cell index; the sort is invisible in
+/// the output because every replay depends only on `(self, fault)`.
+///
+/// Block replays are infallible (the fallible work — transpilation,
+/// planning, prefix evolution — happened at prepare time), so unlike
+/// [`replay_grid_chunked`] there is no cancellation protocol.
+fn replay_grid_batched_blocks<F>(
+    grid: &FaultGrid,
+    threads: usize,
+    width: usize,
+    replay_block: F,
+) -> Vec<ProbDist>
+where
+    F: Fn(&[FaultParams]) -> Vec<ProbDist> + Sync,
+{
+    let mut sorted: Vec<(usize, FaultParams)> = grid
+        .iter()
+        .map(|(theta, phi)| FaultParams::shift(theta, phi))
+        .enumerate()
+        .collect();
+    sorted.sort_by_key(|(_, f)| f.theta.to_bits());
+    let _grid_span = qufi_obs::span("replay.grid_ns");
+    let theta_groups = 1 + sorted
+        .windows(2)
+        .filter(|w| w[0].1.theta.to_bits() != w[1].1.theta.to_bits())
+        .count();
+    let block_count = sorted.len().div_ceil(width);
+    let run_blocks = |blocks: std::ops::Range<usize>| -> Vec<(usize, ProbDist)> {
+        let mut results = Vec::with_capacity(blocks.len() * width);
+        let mut faults = Vec::with_capacity(width);
+        for b in blocks {
+            let cells = &sorted[b * width..((b + 1) * width).min(sorted.len())];
+            faults.clear();
+            faults.extend(cells.iter().map(|&(_, f)| f));
+            let dists = replay_block(&faults);
+            debug_assert_eq!(dists.len(), cells.len());
+            results.extend(cells.iter().map(|&(i, _)| i).zip(dists));
+        }
+        results
+    };
+    let workers = threads.max(1).min(block_count);
+    let mut out: Vec<Option<ProbDist>> = vec![None; sorted.len()];
+    if workers == 1 {
+        for (i, dist) in run_blocks(0..block_count) {
+            out[i] = Some(dist);
+        }
+    } else {
+        // Contiguous block ranges: the (block → worker) assignment is a
+        // pure function of (grid.len(), width, threads), never scheduling.
+        let per_worker = block_count.div_ceil(workers);
+        let parts = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let run_blocks = &run_blocks;
+                    scope.spawn(move || {
+                        let part =
+                            run_blocks(w * per_worker..((w + 1) * per_worker).min(block_count));
+                        qufi_obs::flush();
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batched replay worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for part in parts {
+            for (i, dist) in part {
+                out[i] = Some(dist);
+            }
+        }
+    }
+    qufi_obs::add("replay.cells", sorted.len() as u64);
+    qufi_obs::add("replay.batch.cells", sorted.len() as u64);
+    qufi_obs::add("replay.batch.blocks", block_count as u64);
+    qufi_obs::add("replay.batch.theta_groups", theta_groups as u64);
+    out.into_iter()
+        .map(|slot| slot.expect("every cell was replayed"))
+        .collect()
+}
+
 /// A parked double-fault sweep.
 pub trait PreparedDoubleSweep {
     /// Fast path for a `(first, second)` fault pair.
@@ -335,6 +520,16 @@ fn advance_state<S: EvolvableState>(state: &mut S, qc: &QuantumCircuit, from: us
     }
 }
 
+/// [`advance_state`] for a batched block: the same instruction walk, each
+/// gate shared by every cell of the block.
+fn advance_batched(batch: &mut BatchedStatevector, qc: &QuantumCircuit, from: usize, upto: usize) {
+    for op in &qc.ops()[from..upto] {
+        if let Op::Gate { gate, qubits } = op {
+            batch.apply_gate(*gate, qubits);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Ideal executor: no transpilation, statevector prefix forking.
 
@@ -382,6 +577,20 @@ impl IdealPrepared {
         let sv = Statevector::from_circuit(&faulty).map_err(ExecError::Sim)?;
         Ok(sv.measurement_distribution(&faulty))
     }
+
+    /// One θ-sorted block of the batched grid replay: broadcast the parked
+    /// prefix into the block, apply each cell's injector, evolve the shared
+    /// suffix once across all cells.
+    fn replay_block(&self, faults: &[FaultParams]) -> Vec<ProbDist> {
+        let site = &self.sites[0];
+        let mats = injector_matrices(faults);
+        let mut batch = BatchedStatevector::broadcast(self.prefix.state(), faults.len());
+        batch.apply_matrix_per_cell(&mats, site.qubit);
+        advance_batched(&mut batch, &self.circuit, site.index, self.circuit.size());
+        (0..faults.len())
+            .map(|c| batch.measurement_distribution(c, &self.circuit))
+            .collect()
+    }
 }
 
 impl PreparedSweep for IdealPrepared {
@@ -395,6 +604,22 @@ impl PreparedSweep for IdealPrepared {
 
     fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
         self.replay_faults_naive(&[fault])
+    }
+
+    fn replay_grid_batched(
+        &self,
+        grid: &FaultGrid,
+        threads: usize,
+    ) -> Result<Vec<ProbDist>, ExecError> {
+        let batchable = self.sites.len() == 1 && self.prefix.position() == self.sites[0].index;
+        match effective_batch_width(self.prefix.state().amplitudes().len(), grid.len()) {
+            Some(width) if batchable => {
+                Ok(replay_grid_batched_blocks(grid, threads, width, |faults| {
+                    self.replay_block(faults)
+                }))
+            }
+            _ => replay_grid_scalar_fallback(self, grid, threads),
+        }
     }
 
     fn prefix_gates(&self) -> usize {
@@ -569,6 +794,53 @@ impl PhysicalSweep {
     fn suffix_gates(&self) -> usize {
         gates_in(&self.physical, self.prefix_pos..self.physical.size())
     }
+
+    /// Whether the batched single-fault path applies: exactly one splice
+    /// site, with the parked prefix advanced exactly to it.
+    fn batchable(&self) -> bool {
+        self.sites.len() == 1 && self.prefix_pos == self.sites[0].index
+    }
+
+    /// Flat amplitude count of one cell's ρ — the batched width budget is
+    /// expressed in these.
+    fn flat_len(&self) -> usize {
+        self.prefix.dim() * self.prefix.dim()
+    }
+
+    /// One θ-sorted block of the batched grid replay: broadcast the parked
+    /// prefix into the block, apply each cell's noisy injector, run the
+    /// planned suffix once across all cells, and finish each cell exactly
+    /// like [`NoisyCursor::finish_dist`].
+    fn replay_block(&self, faults: &[FaultParams]) -> Vec<ProbDist> {
+        let site = &self.sites[0];
+        let mats = injector_matrices(faults);
+        let mut batch = BatchedDensity::broadcast(&self.prefix, faults.len());
+        batch.apply_unitary_per_cell(&mats, site.qubit);
+        for (superop, targets) in self.plan.injector_channels(site.qubit) {
+            batch.apply_superoperator(superop, targets);
+        }
+        for (matrix, qubits, channels) in self
+            .plan
+            .planned_steps(self.prefix_pos, self.physical.size())
+        {
+            batch.apply_unitary(matrix, qubits);
+            for (superop, targets) in channels {
+                batch.apply_superoperator(superop, targets);
+            }
+        }
+        let map = self.physical.measurement_map();
+        (0..faults.len())
+            .map(|c| {
+                let dist =
+                    apply_readout_errors(&batch.probabilities(c), self.model.readout_errors());
+                if map.is_empty() {
+                    dist
+                } else {
+                    dist.marginalize(&map, self.physical.num_clbits())
+                }
+            })
+            .collect()
+    }
 }
 
 struct NoisyPrepared<'a> {
@@ -588,6 +860,21 @@ impl PreparedSweep for NoisyPrepared<'_> {
     fn replay_naive(&self, fault: FaultParams) -> Result<ProbDist, ExecError> {
         self.sweep
             .replay_naive(self.executor.transpiler(), &[fault])
+    }
+
+    fn replay_grid_batched(
+        &self,
+        grid: &FaultGrid,
+        threads: usize,
+    ) -> Result<Vec<ProbDist>, ExecError> {
+        match effective_batch_width(self.sweep.flat_len(), grid.len()) {
+            Some(width) if self.sweep.batchable() => {
+                Ok(replay_grid_batched_blocks(grid, threads, width, |faults| {
+                    self.sweep.replay_block(faults)
+                }))
+            }
+            _ => replay_grid_scalar_fallback(self, grid, threads),
+        }
     }
 
     fn prefix_gates(&self) -> usize {
@@ -765,6 +1052,28 @@ impl PreparedSweep for HardwarePrepared<'_> {
             .sweep
             .replay_naive(self.executor.transpiler(), &[fault])?;
         Ok(self.sample(exact, &[fault]))
+    }
+
+    fn replay_grid_batched(
+        &self,
+        grid: &FaultGrid,
+        threads: usize,
+    ) -> Result<Vec<ProbDist>, ExecError> {
+        match effective_batch_width(self.sweep.flat_len(), grid.len()) {
+            // Sampling seeds derive from the fault angles, so drawing the
+            // finite-shot view per cell of a batched block changes nothing.
+            Some(width) if self.sweep.batchable() => {
+                Ok(replay_grid_batched_blocks(grid, threads, width, |faults| {
+                    self.sweep
+                        .replay_block(faults)
+                        .into_iter()
+                        .zip(faults)
+                        .map(|(exact, &fault)| self.sample(exact, &[fault]))
+                        .collect()
+                }))
+            }
+            _ => replay_grid_scalar_fallback(self, grid, threads),
+        }
     }
 
     fn prefix_gates(&self) -> usize {
@@ -1598,6 +1907,66 @@ mod tests {
             let reused = prepared.replay_with(fault, &mut scratch).unwrap();
             let fresh = prepared.replay(fault).unwrap();
             assert_bit_identical(&reused, &fresh, "trajectory scratch reuse");
+        }
+    }
+
+    #[test]
+    fn replay_grid_batched_matches_scalar_bitwise() {
+        // Bit-identity must hold for every batch width, thread count and
+        // grid shape — including a grid with θ-duplicate cells (hoisted
+        // trig run), a ragged grid (len not a multiple of the width) and a
+        // single-cell grid (which takes the scalar path). (Other tests may
+        // race on the env var; every assertion here holds for any width,
+        // so the race is benign by design.)
+        let qc = bv();
+        let grids = [
+            FaultGrid::coarse(),
+            FaultGrid::custom(vec![0.0, 0.7, 0.7, 2.1, PI], vec![0.0, 1.3, 5.0]),
+            FaultGrid::custom(vec![FRAC_PI_2], vec![PI]),
+        ];
+        for prepared in [
+            IdealExecutor.prepare(&qc, some_point()).unwrap(),
+            NoisyExecutor::new(BackendCalibration::lima())
+                .prepare(&qc, some_point())
+                .unwrap(),
+            HardwareExecutor::new(BackendCalibration::jakarta(), 3)
+                .prepare(&qc, some_point())
+                .unwrap(),
+        ] {
+            for grid in &grids {
+                let reference = prepared.replay_grid(grid, 1).unwrap();
+                for width in ["1", "3", "8", "16"] {
+                    std::env::set_var("QUFI_BATCH_CELLS", width);
+                    for threads in [1, 2, 4] {
+                        let cells = prepared.replay_grid_batched(grid, threads).unwrap();
+                        assert_eq!(cells.len(), grid.len());
+                        for (i, (cell, want)) in cells.iter().zip(&reference).enumerate() {
+                            assert_bit_identical(
+                                cell,
+                                want,
+                                &format!("batched cell {i} w={width} t={threads}"),
+                            );
+                        }
+                    }
+                }
+                std::env::remove_var("QUFI_BATCH_CELLS");
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_replay_grid_batched_falls_back_to_scalar() {
+        // The trajectory scenario has no batched path: the batched entry
+        // point must transparently produce the scalar grid result.
+        let qc = bv();
+        let ex = TrajectoryExecutor::with_shots(BackendCalibration::jakarta(), 11, 64);
+        let prepared = ex.prepare(&qc, some_point()).unwrap();
+        let grid = FaultGrid::custom(vec![0.0, PI], vec![0.3]);
+        let batched = prepared.replay_grid_batched(&grid, 2).unwrap();
+        let scalar = prepared.replay_grid(&grid, 1).unwrap();
+        assert_eq!(batched.len(), scalar.len());
+        for (cell, want) in batched.iter().zip(&scalar) {
+            assert_bit_identical(cell, want, "trajectory fallback");
         }
     }
 

@@ -333,6 +333,14 @@ impl CMatrix {
     /// ```
     pub fn u_gate(theta: f64, phi: f64, lambda: f64) -> CMatrix {
         let (s, c) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+        CMatrix::u_gate_from_trig(s, c, phi, lambda)
+    }
+
+    /// [`CMatrix::u_gate`] with `sin(θ/2)`/`cos(θ/2)` supplied by the
+    /// caller. The batched grid-replay engine hoists the trig pair out of
+    /// runs of θ-identical grid cells; because `u_gate` delegates here, a
+    /// hoisted matrix is bit-identical to a freshly constructed one.
+    pub fn u_gate_from_trig(s: f64, c: f64, phi: f64, lambda: f64) -> CMatrix {
         CMatrix::from_2x2(
             Complex::real(c),
             -Complex::cis(lambda) * s,

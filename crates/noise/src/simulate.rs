@@ -17,6 +17,10 @@ use qufi_math::CMatrix;
 use qufi_sim::circuit::Op;
 use qufi_sim::{DensityMatrix, Gate, ProbDist, QuantumCircuit, SimError};
 
+/// One planned-step view handed out by [`NoisePlan::planned_steps`]:
+/// `(gate matrix, operand qubits, channel superoperators)`.
+pub type PlannedStep<'a> = (&'a CMatrix, &'a [usize], &'a [(CMatrix, Vec<usize>)]);
+
 /// One compiled gate instruction: its unitary and the noise superoperators
 /// that follow it, resolved against a concrete [`NoiseModel`].
 struct PlanStep {
@@ -100,6 +104,36 @@ impl NoisePlan {
     #[inline]
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// The compiled gate steps in `[from, upto)`, barriers/measurements
+    /// skipped: `(gate matrix, operand qubits, channel superoperators)`.
+    ///
+    /// This is the batch-friendly view of the plan: walking it and applying
+    /// each unitary and channel in order performs exactly the sequence
+    /// [`NoisyCursor::advance_planned`] performs over the same range, so a
+    /// batched replay that drives all grid cells through it stays
+    /// bit-identical to the scalar cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the plan.
+    pub fn planned_steps(&self, from: usize, upto: usize) -> impl Iterator<Item = PlannedStep<'_>> {
+        assert!(
+            from <= upto && upto <= self.size,
+            "step range out of bounds"
+        );
+        self.steps[from..upto]
+            .iter()
+            .flatten()
+            .map(|s| (&s.matrix, s.qubits.as_slice(), s.channels.as_slice()))
+    }
+
+    /// The channel superoperators a spliced 1-qubit injector gate suffers on
+    /// `qubit` — what [`NoisyCursor::apply_planned_injector`] applies after
+    /// the injector's unitary.
+    pub fn injector_channels(&self, qubit: usize) -> &[(CMatrix, Vec<usize>)] {
+        &self.injector_channels[qubit]
     }
 }
 

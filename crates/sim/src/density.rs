@@ -294,6 +294,12 @@ impl DensityMatrix {
         self.data.clone_from(&src.data);
     }
 
+    /// Raw row-major buffer — the batched replay engine broadcasts it into
+    /// a cell-major block.
+    pub(crate) fn raw(&self) -> &[Complex] {
+        &self.data
+    }
+
     /// `true` when `ρ ≈ ρ†` within `tol`.
     pub fn is_hermitian(&self, tol: f64) -> bool {
         for i in 0..self.dim {

@@ -240,6 +240,451 @@ fn apply_generic(data: &mut [Complex], u: &[Complex], positions: &[usize], m: us
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batched (cell-major) kernels
+// ---------------------------------------------------------------------------
+//
+// The batched replay engine lays `width` forked states out as columns of one
+// split-complex matrix: flat index `amp * width + cell`, real and imaginary
+// parts in separate `f64` buffers. A gate's index arithmetic (block walks,
+// rest-space deposits, gather/scatter offsets) is computed once per amplitude
+// group and applied to all cells through stride-1 inner loops the compiler
+// vectorizes *across cells*. Each cell's own operation sequence — gather,
+// accumulate each output from zero in column order, scatter — is exactly the
+// scalar kernel's, so a batched cell is bit-identical to a scalar replay of
+// the same state. (Like the scalar kernels, nothing here may fold the first
+// product into the accumulator's initialization: `0.0 + x` normalizes the
+// sign of zero exactly as the scalar path does.)
+//
+// Every public entry point dispatches the runtime `width` to a `const W`
+// monomorphization: the cell loops' trip counts must be compile-time
+// constants, or the vectorizer emits runtime-trip prologue/epilogue checks
+// around 4–16-element loops and the batched path loses to the scalar
+// kernels' fully unrolled fixed-length loops. Monomorphizing is what turns
+// the cell axis into straight-line vector code (one or two full-width
+// vectors per accumulate at W = 8/16 on AVX-512). Unrolling never changes
+// arithmetic order, so const and odd-width paths stay bit-identical.
+
+/// Largest supported batch width (cells per block). Sized so a 4-operand
+/// gather/accumulate group (16 amplitudes × 16 cells × 4 buffers) still fits
+/// comfortably in stack arrays and L1.
+pub(crate) const MAX_BATCH_CELLS: usize = 16;
+
+/// Expands `match width` over 1..=[`MAX_BATCH_CELLS`] so each arm calls the
+/// kernel with a `const W` equal to the runtime width.
+macro_rules! dispatch_width {
+    ($width:expr => $f:ident($($args:expr),* $(,)?)) => {
+        match $width {
+            1 => $f::<1>($($args),*),
+            2 => $f::<2>($($args),*),
+            3 => $f::<3>($($args),*),
+            4 => $f::<4>($($args),*),
+            5 => $f::<5>($($args),*),
+            6 => $f::<6>($($args),*),
+            7 => $f::<7>($($args),*),
+            8 => $f::<8>($($args),*),
+            9 => $f::<9>($($args),*),
+            10 => $f::<10>($($args),*),
+            11 => $f::<11>($($args),*),
+            12 => $f::<12>($($args),*),
+            13 => $f::<13>($($args),*),
+            14 => $f::<14>($($args),*),
+            15 => $f::<15>($($args),*),
+            16 => $f::<16>($($args),*),
+            _ => unreachable!("batch width asserted to 1..=MAX_BATCH_CELLS"),
+        }
+    };
+}
+
+/// Batched counterpart of [`apply_matrix_on_bits`]: applies one shared
+/// `2^k × 2^k` matrix to every cell of a cell-major split-complex buffer
+/// holding `width` states of `2^m` amplitudes each.
+pub(crate) fn batch_apply_matrix_on_bits(
+    re: &mut [f64],
+    im: &mut [f64],
+    width: usize,
+    u: &[Complex],
+    positions: &[usize],
+    m: usize,
+    conjugate: bool,
+) {
+    let k = positions.len();
+    debug_assert_eq!(re.len(), width << m, "buffer is not width · 2^m reals");
+    debug_assert_eq!(re.len(), im.len());
+    debug_assert_eq!(u.len(), 1usize << (2 * k), "matrix size mismatch");
+    debug_assert!(positions.iter().all(|&q| q < m));
+    assert!(
+        k <= MAX_KERNEL_QUBITS,
+        "kernel supports at most {MAX_KERNEL_QUBITS} operand qubits"
+    );
+    assert!(
+        (1..=MAX_BATCH_CELLS).contains(&width),
+        "batch width must be 1..={MAX_BATCH_CELLS}"
+    );
+    match k {
+        1 => dispatch_width!(width => batch_apply_1q(re, im, u, positions[0], conjugate)),
+        2 => batch_apply_2q(re, im, width, u, positions[0], positions[1], conjugate),
+        _ => batch_apply_generic(re, im, width, u, positions, m, conjugate),
+    }
+}
+
+/// Cells per register tile in the 2q and generic kernels. Tiling bounds the
+/// live accumulator set — a full-width accumulator block for a 4×4 or 16×16
+/// transform spills registers at `width` 16 — while a remainder tile narrower
+/// than the constant just runs shorter; per-cell arithmetic order is
+/// unchanged either way. The sizes are empirical on the bv-4 density
+/// workload: the 4×4 transform peaks at 4 lanes (its 4-row accumulator block
+/// plus gathers stays register-resident with room for the compiler to
+/// software-pipeline), the 16×16 superoperator transform at 8 lanes (one
+/// 512-bit vector per row, amortizing its much larger gather).
+const BATCH_TILE_2Q: usize = 4;
+const BATCH_TILE_GENERIC: usize = 8;
+
+/// Expands `match tile` over 1..=8 so each arm calls the tile kernel with a
+/// `const T` equal to the runtime remainder.
+macro_rules! dispatch_tile {
+    ($tile:expr => $f:ident($($args:expr),* $(,)?)) => {
+        match $tile {
+            1 => $f::<1>($($args),*),
+            2 => $f::<2>($($args),*),
+            3 => $f::<3>($($args),*),
+            4 => $f::<4>($($args),*),
+            5 => $f::<5>($($args),*),
+            6 => $f::<6>($($args),*),
+            7 => $f::<7>($($args),*),
+            8 => $f::<8>($($args),*),
+            _ => unreachable!("tile bounded by the per-kernel BATCH_TILE constant"),
+        }
+    };
+}
+
+/// Reborrows one cell row (`W` reals starting at `amp · W`) as a fixed-size
+/// array so the cell loops below carry no bounds checks or runtime trips.
+#[inline(always)]
+fn row_mut<const W: usize>(buf: &mut [f64], amp: usize) -> &mut [f64; W] {
+    (&mut buf[amp * W..(amp + 1) * W])
+        .try_into()
+        .expect("row of W reals")
+}
+
+/// Batched single-operand kernel with one shared matrix: the scalar pair
+/// loop with a `W`-cell stride-1 lane under every amplitude pair.
+fn batch_apply_1q<const W: usize>(
+    re: &mut [f64],
+    im: &mut [f64],
+    u: &[Complex],
+    q: usize,
+    conj: bool,
+) {
+    let bit = 1usize << q;
+    let (u00, u01, u10, u11) = if conj {
+        (u[0].conj(), u[1].conj(), u[2].conj(), u[3].conj())
+    } else {
+        (u[0], u[1], u[2], u[3])
+    };
+    let block = (bit << 1) * W;
+    let half = bit * W;
+    for (bre, bim) in re.chunks_exact_mut(block).zip(im.chunks_exact_mut(block)) {
+        let (lo_re, hi_re) = bre.split_at_mut(half);
+        let (lo_im, hi_im) = bim.split_at_mut(half);
+        for p in 0..bit {
+            let p0r = row_mut::<W>(lo_re, p);
+            let p0i = row_mut::<W>(lo_im, p);
+            let p1r = row_mut::<W>(hi_re, p);
+            let p1i = row_mut::<W>(hi_im, p);
+            for c in 0..W {
+                let (v0r, v0i) = (p0r[c], p0i[c]);
+                let (v1r, v1i) = (p1r[c], p1i[c]);
+                let mut a0r = 0.0f64;
+                let mut a0i = 0.0f64;
+                a0r += u00.re * v0r - u00.im * v0i;
+                a0i += u00.re * v0i + u00.im * v0r;
+                a0r += u01.re * v1r - u01.im * v1i;
+                a0i += u01.re * v1i + u01.im * v1r;
+                let mut a1r = 0.0f64;
+                let mut a1i = 0.0f64;
+                a1r += u10.re * v0r - u10.im * v0i;
+                a1i += u10.re * v0i + u10.im * v0r;
+                a1r += u11.re * v1r - u11.im * v1i;
+                a1i += u11.re * v1i + u11.im * v1r;
+                p0r[c] = a0r;
+                p0i[c] = a0i;
+                p1r[c] = a1r;
+                p1i[c] = a1i;
+            }
+        }
+    }
+}
+
+/// Batched single-operand kernel with one matrix **per cell** (the grid's
+/// per-cell injector). `u_re`/`u_im` hold the four matrix entries in
+/// element-major layout: entry `e` of cell `c` at `e * width + c`.
+pub(crate) fn batch_apply_1q_per_cell(
+    re: &mut [f64],
+    im: &mut [f64],
+    width: usize,
+    u_re: &[f64],
+    u_im: &[f64],
+    q: usize,
+    conjugate: bool,
+) {
+    debug_assert_eq!(u_re.len(), 4 * width);
+    debug_assert_eq!(u_im.len(), 4 * width);
+    assert!(
+        (1..=MAX_BATCH_CELLS).contains(&width),
+        "batch width must be 1..={MAX_BATCH_CELLS}"
+    );
+    dispatch_width!(width => batch_apply_1q_per_cell_w(re, im, u_re, u_im, q, conjugate));
+}
+
+fn batch_apply_1q_per_cell_w<const W: usize>(
+    re: &mut [f64],
+    im: &mut [f64],
+    u_re: &[f64],
+    u_im: &[f64],
+    q: usize,
+    conjugate: bool,
+) {
+    let bit = 1usize << q;
+    let block = (bit << 1) * W;
+    let half = bit * W;
+    // Conjugate the entries once up front. Negation by `-1.0 ·` is exact, so
+    // this is bit-identical to the scalar path's per-use `u[i].conj()`.
+    let s = if conjugate { -1.0f64 } else { 1.0f64 };
+    let mut e_re = [[0.0f64; W]; 4];
+    let mut e_im = [[0.0f64; W]; 4];
+    for e in 0..4 {
+        for c in 0..W {
+            e_re[e][c] = u_re[e * W + c];
+            e_im[e][c] = s * u_im[e * W + c];
+        }
+    }
+    for (bre, bim) in re.chunks_exact_mut(block).zip(im.chunks_exact_mut(block)) {
+        let (lo_re, hi_re) = bre.split_at_mut(half);
+        let (lo_im, hi_im) = bim.split_at_mut(half);
+        for p in 0..bit {
+            let p0r = row_mut::<W>(lo_re, p);
+            let p0i = row_mut::<W>(lo_im, p);
+            let p1r = row_mut::<W>(hi_re, p);
+            let p1i = row_mut::<W>(hi_im, p);
+            for c in 0..W {
+                let (v0r, v0i) = (p0r[c], p0i[c]);
+                let (v1r, v1i) = (p1r[c], p1i[c]);
+                let mut a0r = 0.0f64;
+                let mut a0i = 0.0f64;
+                a0r += e_re[0][c] * v0r - e_im[0][c] * v0i;
+                a0i += e_re[0][c] * v0i + e_im[0][c] * v0r;
+                a0r += e_re[1][c] * v1r - e_im[1][c] * v1i;
+                a0i += e_re[1][c] * v1i + e_im[1][c] * v1r;
+                let mut a1r = 0.0f64;
+                let mut a1i = 0.0f64;
+                a1r += e_re[2][c] * v0r - e_im[2][c] * v0i;
+                a1i += e_re[2][c] * v0i + e_im[2][c] * v0r;
+                a1r += e_re[3][c] * v1r - e_im[3][c] * v1i;
+                a1i += e_re[3][c] * v1i + e_im[3][c] * v1r;
+                p0r[c] = a0r;
+                p0i[c] = a0i;
+                p1r[c] = a1r;
+                p1i[c] = a1i;
+            }
+        }
+    }
+}
+
+/// Batched two-operand kernel: the scalar 4-amplitude gather/transform/
+/// scatter with the cell dimension as the stride-1 inner axis, walked in
+/// [`BATCH_TILE_2Q`]-cell register tiles.
+fn batch_apply_2q(
+    re: &mut [f64],
+    im: &mut [f64],
+    width: usize,
+    u: &[Complex],
+    p_hi: usize,
+    p_lo: usize,
+    conj: bool,
+) {
+    let o_hi = 1usize << p_hi;
+    let o_lo = 1usize << p_lo;
+    let mut ut_re = [0.0f64; 16];
+    let mut ut_im = [0.0f64; 16];
+    for row in 0..4 {
+        for col in 0..4 {
+            let x = u[row * 4 + col];
+            ut_re[col * 4 + row] = x.re;
+            ut_im[col * 4 + row] = if conj { -x.im } else { x.im };
+        }
+    }
+    let (qa, qb) = if p_hi < p_lo {
+        (p_hi, p_lo)
+    } else {
+        (p_lo, p_hi)
+    };
+    let mask_a = (1usize << qa) - 1;
+    let mask_b = (1usize << qb) - 1;
+    let rest = (re.len() / width) >> 2;
+    for r in 0..rest {
+        let t = ((r >> qa) << (qa + 1)) | (r & mask_a);
+        let idx = ((t >> qb) << (qb + 1)) | (t & mask_b);
+        let amps = [idx, idx | o_lo, idx | o_hi, idx | o_lo | o_hi];
+        let mut c0 = 0usize;
+        while c0 < width {
+            let tile = (width - c0).min(BATCH_TILE_2Q);
+            dispatch_tile!(tile => batch_2q_tile(re, im, width, c0, &amps, &ut_re, &ut_im));
+            c0 += tile;
+        }
+    }
+}
+
+/// One register tile of [`batch_apply_2q`]: cells `c0..c0 + T` of a gathered
+/// 4-amplitude group.
+#[inline(always)]
+fn batch_2q_tile<const T: usize>(
+    re: &mut [f64],
+    im: &mut [f64],
+    width: usize,
+    c0: usize,
+    amps: &[usize; 4],
+    ut_re: &[f64; 16],
+    ut_im: &[f64; 16],
+) {
+    let mut g_re = [[0.0f64; T]; 4];
+    let mut g_im = [[0.0f64; T]; 4];
+    for (slot, &a) in amps.iter().enumerate() {
+        let base = a * width + c0;
+        g_re[slot].copy_from_slice(&re[base..base + T]);
+        g_im[slot].copy_from_slice(&im[base..base + T]);
+    }
+    let mut o_re = [[0.0f64; T]; 4];
+    let mut o_im = [[0.0f64; T]; 4];
+    for col in 0..4 {
+        for row in 0..4 {
+            let ar = ut_re[col * 4 + row];
+            let ai = ut_im[col * 4 + row];
+            for c in 0..T {
+                let (cr, ci) = (g_re[col][c], g_im[col][c]);
+                o_re[row][c] += ar * cr - ai * ci;
+                o_im[row][c] += ar * ci + ai * cr;
+            }
+        }
+    }
+    for (row, &a) in amps.iter().enumerate() {
+        let base = a * width + c0;
+        re[base..base + T].copy_from_slice(&o_re[row]);
+        im[base..base + T].copy_from_slice(&o_im[row]);
+    }
+}
+
+/// Batched generic `k ≤ 4` kernel (Toffoli, channel superoperators), walked
+/// in [`BATCH_TILE_GENERIC`]-cell register tiles.
+fn batch_apply_generic(
+    re: &mut [f64],
+    im: &mut [f64],
+    width: usize,
+    u: &[Complex],
+    positions: &[usize],
+    m: usize,
+    conj: bool,
+) {
+    let k = positions.len();
+    let mut bit_offsets = [0usize; MAX_KERNEL_QUBITS];
+    for (j, &q) in positions.iter().enumerate() {
+        bit_offsets[k - 1 - j] = 1usize << q;
+    }
+    let mut sorted = [0usize; MAX_KERNEL_QUBITS];
+    sorted[..k].copy_from_slice(positions);
+    sorted[..k].sort_unstable();
+
+    let group = 1usize << k;
+    let rest = 1usize << (m - k);
+
+    let mut pos = [0usize; 1 << MAX_KERNEL_QUBITS];
+    for (mm, slot) in pos.iter_mut().enumerate().take(group) {
+        let mut off = 0usize;
+        for (b, &bo) in bit_offsets.iter().enumerate().take(k) {
+            if (mm >> b) & 1 == 1 {
+                off |= bo;
+            }
+        }
+        *slot = off;
+    }
+
+    let mut ut_re = [0.0f64; 1 << (2 * MAX_KERNEL_QUBITS)];
+    let mut ut_im = [0.0f64; 1 << (2 * MAX_KERNEL_QUBITS)];
+    for row in 0..group {
+        for col in 0..group {
+            let x = u[row * group + col];
+            ut_re[col * group + row] = x.re;
+            ut_im[col * group + row] = if conj { -x.im } else { x.im };
+        }
+    }
+
+    for r in 0..rest {
+        let mut idx = r;
+        for &q in &sorted[..k] {
+            let low = idx & ((1 << q) - 1);
+            idx = ((idx >> q) << (q + 1)) | low;
+        }
+        let mut c0 = 0usize;
+        while c0 < width {
+            let tile = (width - c0).min(BATCH_TILE_GENERIC);
+            dispatch_tile!(
+                tile => batch_generic_tile(re, im, width, c0, idx, &pos, group, &ut_re, &ut_im)
+            );
+            c0 += tile;
+        }
+    }
+}
+
+/// One register tile of [`batch_apply_generic`]: cells `c0..c0 + T` of one
+/// gathered `group`-amplitude rest index. Outputs are produced in blocks of
+/// four rows so the live accumulator set stays register-resident even for
+/// the 16-row superoperator groups; the gathered stack copy keeps later row
+/// blocks reading pre-transform inputs.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // a flat register-tile kernel signature, not an API
+fn batch_generic_tile<const T: usize>(
+    re: &mut [f64],
+    im: &mut [f64],
+    width: usize,
+    c0: usize,
+    idx: usize,
+    pos: &[usize; 1 << MAX_KERNEL_QUBITS],
+    group: usize,
+    ut_re: &[f64; 1 << (2 * MAX_KERNEL_QUBITS)],
+    ut_im: &[f64; 1 << (2 * MAX_KERNEL_QUBITS)],
+) {
+    let mut g_re = [[0.0f64; T]; 1 << MAX_KERNEL_QUBITS];
+    let mut g_im = [[0.0f64; T]; 1 << MAX_KERNEL_QUBITS];
+    for mm in 0..group {
+        let base = (idx | pos[mm]) * width + c0;
+        g_re[mm].copy_from_slice(&re[base..base + T]);
+        g_im[mm].copy_from_slice(&im[base..base + T]);
+    }
+    let mut row0 = 0usize;
+    while row0 < group {
+        let rows = (group - row0).min(4);
+        let mut o_re = [[0.0f64; T]; 4];
+        let mut o_im = [[0.0f64; T]; 4];
+        for col in 0..group {
+            for dr in 0..rows {
+                let ar = ut_re[col * group + row0 + dr];
+                let ai = ut_im[col * group + row0 + dr];
+                for c in 0..T {
+                    let (cr, ci) = (g_re[col][c], g_im[col][c]);
+                    o_re[dr][c] += ar * cr - ai * ci;
+                    o_im[dr][c] += ar * ci + ai * cr;
+                }
+            }
+        }
+        for dr in 0..rows {
+            let base = (idx | pos[row0 + dr]) * width + c0;
+            re[base..base + T].copy_from_slice(&o_re[dr]);
+            im[base..base + T].copy_from_slice(&o_im[dr]);
+        }
+        row0 += rows;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +787,146 @@ mod tests {
                     assert!(
                         a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
                         "{u:?} on {positions:?} (conj={conj}): amp {i}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn rng(mut seed: u64) -> impl FnMut() -> f64 {
+        move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        }
+    }
+
+    /// Packs `width` scalar states into the cell-major split layout.
+    fn pack(states: &[Vec<Complex>]) -> (Vec<f64>, Vec<f64>) {
+        let width = states.len();
+        let len = states[0].len();
+        let mut re = vec![0.0f64; len * width];
+        let mut im = vec![0.0f64; len * width];
+        for (c, s) in states.iter().enumerate() {
+            for (a, z) in s.iter().enumerate() {
+                re[a * width + c] = z.re;
+                im[a * width + c] = z.im;
+            }
+        }
+        (re, im)
+    }
+
+    fn assert_cell_bitwise(
+        re: &[f64],
+        im: &[f64],
+        width: usize,
+        scalar: &[Vec<Complex>],
+        what: &str,
+    ) {
+        for (c, s) in scalar.iter().enumerate() {
+            for (a, z) in s.iter().enumerate() {
+                let (br, bi) = (re[a * width + c], im[a * width + c]);
+                assert!(
+                    br.to_bits() == z.re.to_bits() && bi.to_bits() == z.im.to_bits(),
+                    "{what}: cell {c} amp {a}: batched ({br}, {bi}) vs scalar {z:?}"
+                );
+            }
+        }
+    }
+
+    /// Every batched shared-matrix path must be *bit-identical*, cell by
+    /// cell, to the scalar kernel run on each cell's state separately —
+    /// including ragged widths (1, 3) that exercise partial blocks.
+    #[test]
+    fn batched_shared_matrix_matches_scalar_bitwise() {
+        let m = 5usize;
+        let cases: Vec<(CMatrix, Vec<usize>)> = vec![
+            (CMatrix::hadamard(), vec![0]),
+            (CMatrix::u_gate(0.7, 1.3, 0.2), vec![3]),
+            (CMatrix::cnot(), vec![1, 3]),
+            (CMatrix::swap(), vec![2, 1]),
+            (CMatrix::cphase(0.9), vec![0, 4]),
+            (
+                {
+                    let mut ccx = CMatrix::identity(8);
+                    ccx[(6, 6)] = Complex::ZERO;
+                    ccx[(7, 7)] = Complex::ZERO;
+                    ccx[(6, 7)] = Complex::ONE;
+                    ccx[(7, 6)] = Complex::ONE;
+                    ccx
+                },
+                vec![4, 2, 0],
+            ),
+        ];
+        for width in [1usize, 3, 8, MAX_BATCH_CELLS] {
+            let mut next = rng(0xA5A5_1234_5678_9ABC ^ width as u64);
+            let states: Vec<Vec<Complex>> = (0..width)
+                .map(|_| (0..1 << m).map(|_| Complex::new(next(), next())).collect())
+                .collect();
+            for (u, positions) in &cases {
+                for conj in [false, true] {
+                    let mut scalar = states.clone();
+                    for s in &mut scalar {
+                        apply_matrix_on_bits(s, u.as_slice(), positions, m, conj);
+                    }
+                    let (mut re, mut im) = pack(&states);
+                    batch_apply_matrix_on_bits(
+                        &mut re,
+                        &mut im,
+                        width,
+                        u.as_slice(),
+                        positions,
+                        m,
+                        conj,
+                    );
+                    assert_cell_bitwise(
+                        &re,
+                        &im,
+                        width,
+                        &scalar,
+                        &format!("{u:?} on {positions:?} conj={conj} width={width}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The per-cell 1q kernel (grid injectors: one matrix per cell) must be
+    /// bit-identical to applying each cell's matrix with the scalar kernel.
+    #[test]
+    fn batched_per_cell_matrix_matches_scalar_bitwise() {
+        let m = 4usize;
+        for width in [1usize, 5, MAX_BATCH_CELLS] {
+            let mut next = rng(0xDEAD_BEEF_0BAD_F00D ^ width as u64);
+            let states: Vec<Vec<Complex>> = (0..width)
+                .map(|_| (0..1 << m).map(|_| Complex::new(next(), next())).collect())
+                .collect();
+            let mats: Vec<CMatrix> = (0..width)
+                .map(|c| CMatrix::u_gate(0.3 + c as f64, 0.1 * c as f64, 0.0))
+                .collect();
+            for q in 0..m {
+                for conj in [false, true] {
+                    let mut scalar = states.clone();
+                    for (s, u) in scalar.iter_mut().zip(&mats) {
+                        apply_matrix_on_bits(s, u.as_slice(), &[q], m, conj);
+                    }
+                    let (mut re, mut im) = pack(&states);
+                    let mut u_re = vec![0.0f64; 4 * width];
+                    let mut u_im = vec![0.0f64; 4 * width];
+                    for (c, u) in mats.iter().enumerate() {
+                        for (e, z) in u.as_slice().iter().enumerate() {
+                            u_re[e * width + c] = z.re;
+                            u_im[e * width + c] = z.im;
+                        }
+                    }
+                    batch_apply_1q_per_cell(&mut re, &mut im, width, &u_re, &u_im, q, conj);
+                    assert_cell_bitwise(
+                        &re,
+                        &im,
+                        width,
+                        &scalar,
+                        &format!("per-cell u on q{q} conj={conj} width={width}"),
                     );
                 }
             }

@@ -40,6 +40,7 @@
 //! assert!((dist.prob_of("11") - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod batch;
 pub mod circuit;
 pub mod counts;
 pub mod cursor;
@@ -54,6 +55,7 @@ pub mod statevector;
 pub mod unitary;
 pub mod workspace;
 
+pub use batch::{BatchWorkspace, BatchedDensity, BatchedStatevector, MAX_BATCH_CELLS};
 pub use circuit::{Instruction, Op, QuantumCircuit};
 pub use counts::{Counts, ProbDist};
 pub use cursor::{CircuitCursor, EvolvableState};
